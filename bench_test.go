@@ -1,0 +1,248 @@
+package jetstream
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (backed by the same internal/bench harness as cmd/experiments,
+// in its quick configuration), plus microbenchmarks of the core machinery.
+// Reported custom metrics carry the experiment's headline numbers so
+// `go test -bench` output doubles as a miniature results table; the full
+// reports come from `go run ./cmd/experiments`.
+
+import (
+	"testing"
+
+	"jetstream/internal/bench"
+	"jetstream/internal/event"
+	"jetstream/internal/mem"
+	"jetstream/internal/queue"
+	"jetstream/internal/stats"
+)
+
+// ---------------------------------------------------------------------------
+// Tables and figures
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable3Speedups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.NewRunner(true)
+		res := r.Table3()
+		gpSSSP, ksSSSP := res.GeoMeans("sssp")
+		gpPR, gbPR := res.GeoMeans("pagerank")
+		b.ReportMetric(gpSSSP, "sssp-vs-GP-x")
+		b.ReportMetric(ksSSSP, "sssp-vs-KS-x")
+		b.ReportMetric(gpPR, "pr-vs-GP-x")
+		b.ReportMetric(gbPR, "pr-vs-GB-x")
+	}
+}
+
+func BenchmarkFig9Accesses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.NewRunner(true)
+		res := r.Fig9()
+		var vsum, esum float64
+		for _, c := range res.Cells {
+			vsum += c.VertexRatio
+			esum += c.EdgeRatio
+		}
+		n := float64(len(res.Cells))
+		b.ReportMetric(vsum/n, "mean-vertex-ratio")
+		b.ReportMetric(esum/n, "mean-edge-ratio")
+	}
+}
+
+func BenchmarkFig10Resets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.NewRunner(true)
+		res := r.Fig10()
+		var jet, ks float64
+		for _, c := range res.Cells {
+			jet += float64(c.JetResets)
+			ks += float64(c.KSResets)
+		}
+		b.ReportMetric(jet, "jetstream-resets")
+		b.ReportMetric(ks, "kickstarter-resets")
+	}
+}
+
+func BenchmarkFig11MemUtil(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.NewRunner(true)
+		res := r.Fig11()
+		var jet, gp float64
+		for _, c := range res.Cells {
+			jet += c.JetUtil
+			gp += c.GPUtil
+		}
+		n := float64(len(res.Cells))
+		b.ReportMetric(jet/n, "jetstream-util")
+		b.ReportMetric(gp/n, "graphpulse-util")
+	}
+}
+
+func BenchmarkFig12Optimizations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.NewRunner(true)
+		res := r.Fig12()
+		var base, vap, dap float64
+		for _, c := range res.Cells {
+			base += c.Base
+			vap += c.VAP
+			dap += c.DAP
+		}
+		n := float64(len(res.Cells))
+		b.ReportMetric(base/n, "base-speedup-x")
+		b.ReportMetric(vap/n, "vap-speedup-x")
+		b.ReportMetric(dap/n, "dap-speedup-x")
+	}
+}
+
+func BenchmarkFig13BatchSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.NewRunner(true)
+		res := r.Fig13()
+		for _, s := range res.Series {
+			last := s.Points[len(s.Points)-1]
+			if s.Algo == "sssp" {
+				b.ReportMetric(last.Jet, "sssp-smallbatch-x")
+			} else {
+				b.ReportMetric(last.Jet, "pr-smallbatch-x")
+			}
+		}
+	}
+}
+
+func BenchmarkFig14Composition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.NewRunner(true)
+		res := r.Fig14()
+		for _, s := range res.Series {
+			var ins, del float64
+			for _, p := range s.Points {
+				if p.InsertPct == 100 {
+					ins = p.Jet
+				}
+				if p.InsertPct == 0 {
+					del = p.Jet
+				}
+			}
+			if s.Algo == "sssp" && ins > 0 {
+				b.ReportMetric(del/ins, "sssp-del-over-ins")
+			}
+		}
+	}
+}
+
+func BenchmarkTable4PowerArea(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.NewRunner(true)
+		_ = r.Table4()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks of the core machinery
+// ---------------------------------------------------------------------------
+
+// BenchmarkInitialEvaluation measures a full static run (the GraphPulse
+// baseline) in events per second.
+func BenchmarkInitialEvaluation(b *testing.B) {
+	g := RMAT(RMATConfig{Vertices: 20000, Edges: 160000, Seed: 1})
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		sys, _ := New(g, SSSP(0), WithTiming(false))
+		res := sys.RunInitial()
+		events += res.Stats.EventsProcessed
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}
+
+// BenchmarkStreamingBatch measures one incremental 100-update batch.
+func BenchmarkStreamingBatch(b *testing.B) {
+	g := RMAT(RMATConfig{Vertices: 20000, Edges: 160000, Seed: 1})
+	sys, _ := New(g, SSSP(0), WithTiming(false))
+	sys.RunInitial()
+	gen := NewStream(StreamConfig{BatchSize: 100, InsertFrac: 0.7, Seed: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.ApplyBatch(gen.Next(sys.Graph())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamingBatchWithTiming includes the cycle model.
+func BenchmarkStreamingBatchWithTiming(b *testing.B) {
+	g := RMAT(RMATConfig{Vertices: 20000, Edges: 160000, Seed: 1})
+	sys, _ := New(g, SSSP(0), WithTiming(true))
+	sys.RunInitial()
+	gen := NewStream(StreamConfig{BatchSize: 100, InsertFrac: 0.7, Seed: 2})
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := sys.ApplyBatch(gen.Next(sys.Graph()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "modelcycles/batch")
+}
+
+// BenchmarkQueueInsertCoalesce measures the coalescing queue's insert path.
+func BenchmarkQueueInsertCoalesce(b *testing.B) {
+	st := &stats.Counters{}
+	q := queue.New(1<<16, queue.DefaultConfig(), queue.ReduceCoalesce(func(a, c float64) float64 {
+		if a < c {
+			return a
+		}
+		return c
+	}), st)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Insert(event.New(uint32(i)&0xffff, float64(i)))
+		if i&0xffff == 0xffff {
+			q.Drain(func([]event.Event) {})
+		}
+	}
+}
+
+// BenchmarkDRAMModel measures the memory timing model's access path.
+func BenchmarkDRAMModel(b *testing.B) {
+	d := mem.NewDRAM(mem.DefaultDRAMConfig(), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Access(uint64(i), uint64(i*64)%(1<<28))
+	}
+}
+
+// BenchmarkGraphApplyBatch measures CSR version construction.
+func BenchmarkGraphApplyBatch(b *testing.B) {
+	g := RMAT(RMATConfig{Vertices: 20000, Edges: 160000, Seed: 1})
+	gen := NewStream(StreamConfig{BatchSize: 200, InsertFrac: 0.5, Seed: 3})
+	batch := gen.Next(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Apply(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetailedTimingBatch measures the per-event pipeline model against
+// the batch-level model on the same streaming workload.
+func BenchmarkDetailedTimingBatch(b *testing.B) {
+	g := RMAT(RMATConfig{Vertices: 20000, Edges: 160000, Seed: 1})
+	sys, _ := New(g, SSSP(0), WithDetailedTiming())
+	sys.RunInitial()
+	gen := NewStream(StreamConfig{BatchSize: 100, InsertFrac: 0.7, Seed: 2})
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := sys.ApplyBatch(gen.Next(sys.Graph()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "modelcycles/batch")
+}

@@ -1,0 +1,67 @@
+// Command experiments regenerates the tables and figures of the JetStream
+// paper's evaluation (§6) on the scaled synthetic workloads.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|table2|table3|table4|fig9..fig14|ablations]
+//	            [-quick] [-seed N]
+//
+// Each experiment prints the same rows/series the paper reports; the shapes
+// (who wins, by roughly what factor, where the crossovers fall) are the
+// reproduction target — absolute numbers live at the harness's ~100x-reduced
+// workload scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"jetstream/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, table1..table4, fig9..fig14, ablations)")
+	quick := flag.Bool("quick", false, "use reduced datasets (seconds instead of minutes)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	r := bench.NewRunner(*quick)
+	r.Seed = *seed
+
+	experiments := []struct {
+		name string
+		run  func() string
+	}{
+		{"table1", r.Table1},
+		{"table2", r.Table2},
+		{"table3", func() string { return r.Table3().String() }},
+		{"fig9", func() string { return r.Fig9().String() }},
+		{"fig10", func() string { return r.Fig10().String() }},
+		{"fig11", func() string { return r.Fig11().String() }},
+		{"fig12", func() string { return r.Fig12().String() }},
+		{"fig13", func() string { return r.Fig13().String() }},
+		{"fig14", func() string { return r.Fig14().String() }},
+		{"table4", r.Table4},
+		{"ablations", func() string { return r.Ablations().String() }},
+	}
+
+	want := strings.ToLower(*exp)
+	ran := false
+	for _, e := range experiments {
+		if want != "all" && want != e.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		fmt.Println(e.run())
+		fmt.Printf("[%s completed in %.1fs]\n\n", e.name, time.Since(start).Seconds())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,118 @@
+// Command graphgen emits synthetic graphs (and optional update streams) in
+// the plain-text edge-list format the other tools read. The generators cover
+// the two topology classes of the paper's Table 2 workloads plus a road-like
+// lattice and a uniform random graph.
+//
+// Examples:
+//
+//	graphgen -gen rmat -vertices 100000 -edges 1000000 > social.txt
+//	graphgen -gen webcrawl -vertices 50000 -edges 600000 -seed 7 > web.txt
+//	graphgen -dataset LJ > lj.txt             # the Table 2 stand-in
+//	graphgen -gen grid -vertices 10000 -stream 5 -batch 100 -streamout updates.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"jetstream"
+	"jetstream/internal/graph"
+	"jetstream/internal/stream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("graphgen: ")
+
+	var (
+		gen       = flag.String("gen", "rmat", "generator: rmat, webcrawl, grid, er")
+		dataset   = flag.String("dataset", "", "emit a Table 2 stand-in instead (WK, FB, LJ, UK, TW)")
+		vertices  = flag.Int("vertices", 10000, "vertex count")
+		edges     = flag.Int("edges", 80000, "edge count")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		symmetric = flag.Bool("symmetric", false, "mirror all edges (undirected)")
+		streamN   = flag.Int("stream", 0, "also emit N update batches")
+		batch     = flag.Int("batch", 100, "updates per batch")
+		mix       = flag.Float64("mix", 0.7, "insert fraction per batch")
+		streamOut = flag.String("streamout", "", "file for the update stream (default stderr note)")
+		stats     = flag.Bool("stats", false, "print structural statistics to stderr instead of edges to stdout")
+	)
+	flag.Parse()
+
+	var g *jetstream.Graph
+	if *dataset != "" {
+		d, err := graph.DatasetByName(*dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g = d.Build(*seed)
+	} else {
+		switch *gen {
+		case "rmat":
+			g = jetstream.RMAT(jetstream.RMATConfig{Vertices: *vertices, Edges: *edges, Seed: *seed})
+		case "webcrawl":
+			g = jetstream.WebCrawl(jetstream.WebCrawlConfig{
+				Vertices: *vertices, AvgDegree: float64(*edges) / float64(*vertices), Seed: *seed,
+			})
+		case "grid":
+			side := 1
+			for side*side < *vertices {
+				side++
+			}
+			g = jetstream.Grid(jetstream.GridConfig{Rows: side, Cols: side, Diagonal: 0.15, Seed: *seed})
+		case "er":
+			g = jetstream.ErdosRenyi(*vertices, *edges, 64, *seed)
+		default:
+			log.Fatalf("unknown generator %q", *gen)
+		}
+	}
+	if *symmetric {
+		g = jetstream.Symmetrize(g)
+	}
+
+	if *stats {
+		fmt.Fprintln(os.Stderr, graph.ComputeStats(g))
+		return
+	}
+	out := bufio.NewWriter(os.Stdout)
+	if err := jetstream.WriteEdgeList(out, g); err != nil {
+		log.Fatal(err)
+	}
+	if err := out.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	if *streamN > 0 {
+		w := os.Stdout
+		if *streamOut != "" {
+			f, err := os.Create(*streamOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		bw := bufio.NewWriter(w)
+		sgen := stream.NewGenerator(stream.Config{
+			BatchSize: *batch, InsertFrac: *mix, Symmetric: *symmetric, Seed: *seed ^ 0x517,
+		})
+		cur := g
+		for i := 0; i < *streamN; i++ {
+			b := sgen.Next(cur)
+			fmt.Fprintf(bw, "# batch %d: %d inserts, %d deletes\n", i+1, len(b.Inserts), len(b.Deletes))
+			for _, e := range b.Inserts {
+				fmt.Fprintf(bw, "+ %d %d %g\n", e.Src, e.Dst, e.Weight)
+			}
+			for _, e := range b.Deletes {
+				fmt.Fprintf(bw, "- %d %d %g\n", e.Src, e.Dst, e.Weight)
+			}
+			cur = cur.MustApply(b)
+		}
+		if err := bw.Flush(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

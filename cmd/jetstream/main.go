@@ -1,0 +1,148 @@
+// Command jetstream runs a streaming graph query from the command line: it
+// loads (or generates) a graph, performs the initial evaluation, then applies
+// a stream of update batches, reporting per-batch accelerator time and work
+// counters.
+//
+// Examples:
+//
+//	jetstream -algo sssp -gen rmat -vertices 10000 -edges 100000 -batches 5
+//	jetstream -algo pagerank -graph edges.txt -batch 500 -mix 0.7 -verify
+//	jetstream -algo cc -gen webcrawl -vertices 5000 -opt vap -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"jetstream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jetstream: ")
+
+	var (
+		algoName = flag.String("algo", "sssp", "algorithm: sssp, sswp, bfs, cc, pagerank, adsorption")
+		root     = flag.Uint("root", 0, "root vertex for single-source algorithms")
+		eps      = flag.Float64("eps", 0, "convergence threshold for accumulative algorithms (0 = default)")
+		path     = flag.String("graph", "", "edge-list file (src dst [weight]); empty uses -gen")
+		gen      = flag.String("gen", "rmat", "generator when no -graph: rmat, webcrawl, grid, er")
+		vertices = flag.Int("vertices", 10000, "generated graph vertices")
+		edges    = flag.Int("edges", 80000, "generated graph edges")
+		seed     = flag.Int64("seed", 1, "generator and stream seed")
+		batches  = flag.Int("batches", 3, "number of update batches to stream")
+		batch    = flag.Int("batch", 200, "updates per batch")
+		mix      = flag.Float64("mix", 0.7, "insert fraction per batch")
+		optName  = flag.String("opt", "dap", "delete optimization: base, vap, dap")
+		slices   = flag.Int("slices", 0, "graph slices (0 = automatic)")
+		timing   = flag.Bool("timing", true, "enable the cycle-accurate timing model")
+		verify   = flag.Bool("verify", false, "validate against a from-scratch solver after each batch")
+		stats    = flag.Bool("stats", false, "print full work counters per batch")
+	)
+	flag.Parse()
+
+	a, err := jetstream.AlgorithmByName(*algoName, uint32(*root), *eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g, err := loadGraph(*path, *gen, *vertices, *edges, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	symmetric := *algoName == "cc"
+	if symmetric {
+		g = jetstream.Symmetrize(g)
+	}
+
+	var opt jetstream.OptLevel
+	switch *optName {
+	case "base":
+		opt = jetstream.OptBase
+	case "vap":
+		opt = jetstream.OptVAP
+	case "dap":
+		opt = jetstream.OptDAP
+	default:
+		log.Fatalf("unknown -opt %q", *optName)
+	}
+
+	opts := []jetstream.Option{jetstream.WithOpt(opt), jetstream.WithTiming(*timing)}
+	if *slices > 1 {
+		opts = append(opts, jetstream.WithSlices(*slices))
+	}
+	sys, err := jetstream.New(g, a, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("graph: %d vertices, %d edges; algorithm: %s (%s deletes)\n",
+		g.NumVertices(), g.NumEdges(), *algoName, *optName)
+
+	res := sys.RunInitial()
+	fmt.Printf("initial evaluation: %v (%d cycles, %d events)\n",
+		res.Duration, res.Cycles, res.Stats.EventsProcessed)
+
+	sgen := jetstream.NewStream(jetstream.StreamConfig{
+		BatchSize: *batch, InsertFrac: *mix, Symmetric: symmetric, Seed: *seed ^ 0x9e77,
+	})
+	for i := 0; i < *batches; i++ {
+		b := sgen.Next(sys.Graph())
+		res, err := sys.ApplyBatch(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("batch %d (%d ins, %d del): %v (%d cycles, %d events, %d resets)\n",
+			i+1, len(b.Inserts), len(b.Deletes), res.Duration, res.Cycles,
+			res.Stats.EventsProcessed, res.Stats.VerticesReset)
+		if *stats {
+			fmt.Print(res.Stats.Table())
+		}
+		if *verify {
+			if d := sys.Verify(); d > verifyTolerance(*algoName, *eps, sys.Graph().NumEdges(), i+1) {
+				log.Fatalf("batch %d: diverged from reference by %g", i+1, d)
+			}
+			fmt.Printf("batch %d: verified against from-scratch solver\n", i+1)
+		}
+	}
+}
+
+func verifyTolerance(algoName string, eps float64, edges, batches int) float64 {
+	if algoName != "pagerank" && algoName != "pr" && algoName != "adsorption" {
+		return 0
+	}
+	if eps <= 0 {
+		eps = 1e-8
+	}
+	return eps * 10 * float64(edges) * float64(batches)
+}
+
+func loadGraph(path, gen string, vertices, edges int, seed int64) (*jetstream.Graph, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return jetstream.ReadEdgeList(f, 0)
+	}
+	switch gen {
+	case "rmat":
+		return jetstream.RMAT(jetstream.RMATConfig{Vertices: vertices, Edges: edges, Seed: seed}), nil
+	case "webcrawl":
+		avg := float64(edges) / float64(vertices)
+		return jetstream.WebCrawl(jetstream.WebCrawlConfig{Vertices: vertices, AvgDegree: avg, Seed: seed}), nil
+	case "grid":
+		side := 1
+		for side*side < vertices {
+			side++
+		}
+		return jetstream.Grid(jetstream.GridConfig{Rows: side, Cols: side, Diagonal: 0.15, Seed: seed}), nil
+	case "er":
+		return jetstream.ErdosRenyi(vertices, edges, 64, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", gen)
+	}
+}

@@ -1,0 +1,3 @@
+module jetstream
+
+go 1.22

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"jetstream/internal/core"
+	"jetstream/internal/graph"
+)
+
+// AblationRow is one design-choice measurement: the relative per-batch cost
+// of removing a mechanism from the full design.
+type AblationRow struct {
+	Mechanism string
+	Algo      string
+	// CyclesX and EventsX are the ablated configuration's per-batch cycles
+	// and processed events relative to the full design (>1 = the mechanism
+	// helps).
+	CyclesX, EventsX float64
+}
+
+// AblationResult collects the design-choice sweep.
+type AblationResult struct{ Rows []AblationRow }
+
+// Ablations quantifies the design choices DESIGN.md calls out, on the LJ
+// workload with the scaled 100K batch:
+//
+//   - event coalescing (the queue's central mechanism, §4.2): disabled
+//     everywhere — measurable only for the epsilon-bounded accumulative
+//     class, where it also costs accuracy (un-merged deltas truncate under
+//     the generation threshold within a few hops);
+//   - fused net-event rollback for accumulative deletion (the coalescing
+//     idea applied at the Stream Reader): replaced by the paper-literal
+//     two-phase negate-then-reinsert flow of Algorithm 6;
+//   - the DAP recovery optimization: replaced by the base tagging scheme
+//     (also visible in Fig 12, repeated here for one workload).
+func (r *Runner) Ablations() *AblationResult {
+	out := &AblationResult{}
+	measure := func(algName string, cfg core.Config, bs []graph.Batch) (cycles, events float64) {
+		jr := r.runJetStreamCfg(r.workloadGraph(algName), r.algorithm(algName), cfg, bs)
+		return jr.cycles, float64(jr.eventsTotal)
+	}
+
+	// Selective: SSSP. (No-coalescing is not measurable here: without the
+	// queue's merge, a monotonic event-driven computation degenerates to
+	// enumerating every path in the graph — the unbounded cost is the very
+	// reason the coalescing queue exists, §4.2.)
+	{
+		g := r.workloadGraph("sssp")
+		bs := r.batches(g, r.nBatches(), r.batchSize(g, 100_000), 0.7, false, 0)
+		fullC, fullE := measure("sssp", core.ConfigWithOpt(core.OptDAP), bs)
+
+		c, e := measure("sssp", core.ConfigWithOpt(core.OptBase), bs)
+		out.Rows = append(out.Rows, AblationRow{"base tagging (no DAP)", "sssp", c / fullC, e / fullE})
+	}
+
+	// Accumulative: PageRank.
+	{
+		g := r.workloadGraph("pagerank")
+		bs := r.batches(g, r.nBatches(), r.batchSize(g, 100_000), 0.7, false, 0)
+		fullC, fullE := measure("pagerank", core.ConfigWithOpt(core.OptDAP), bs)
+
+		noCo := core.ConfigWithOpt(core.OptDAP)
+		noCo.NoCoalesce = true
+		c, e := measure("pagerank", noCo, bs)
+		out.Rows = append(out.Rows, AblationRow{"no event coalescing", "pagerank", c / fullC, e / fullE})
+
+		two := core.ConfigWithOpt(core.OptDAP)
+		two.TwoPhaseAccumulate = true
+		c, e = measure("pagerank", two, bs)
+		out.Rows = append(out.Rows, AblationRow{"literal two-phase rollback", "pagerank", c / fullC, e / fullE})
+	}
+	return out
+}
+
+// workloadGraph returns the LJ variant for the algorithm.
+func (r *Runner) workloadGraph(algName string) *graph.CSR {
+	g, _ := r.workload("LJ", algName)
+	return g
+}
+
+func (a *AblationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablations on LJ (cost of removing a mechanism, relative to the full design)\n")
+	fmt.Fprintf(&b, "%-28s %-10s %10s %10s\n", "Mechanism removed", "Algo", "Cycles", "Events")
+	for _, row := range a.Rows {
+		fmt.Fprintf(&b, "%-28s %-10s %9.2fx %9.2fx\n", row.Mechanism, row.Algo, row.CyclesX, row.EventsX)
+	}
+	return b.String()
+}

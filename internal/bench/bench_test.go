@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The harness tests run in Quick mode (small datasets) and assert the
+// qualitative shapes the paper reports — who wins, which direction trends
+// point — not absolute numbers.
+
+func quickRunner() *Runner { return NewRunner(true) }
+
+func TestTable1And2Render(t *testing.T) {
+	r := quickRunner()
+	t1 := r.Table1()
+	for _, want := range []string{"JetStream", "processor", "DDR3"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+	t2 := r.Table2()
+	for _, ds := range DatasetNames {
+		if !strings.Contains(t2, ds) {
+			t.Errorf("Table2 missing %s", ds)
+		}
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid")
+	}
+	r := quickRunner()
+	res := r.Table3()
+	if len(res.Cells) != 6*len(DatasetNames) {
+		t.Fatalf("got %d cells", len(res.Cells))
+	}
+	gpWins, swWins := 0, 0
+	for _, c := range res.Cells {
+		if c.JetMS <= 0 {
+			t.Errorf("%s/%s: non-positive JetStream time", c.Algo, c.Dataset)
+		}
+		if c.GPSpeedup > 1 {
+			gpWins++
+		}
+		if c.SWSpeedup > 1 {
+			swWins++
+		}
+	}
+	// JetStream must win the overwhelming majority of cells (the paper wins
+	// all; at this ~100x-reduced scale a couple of BFS-on-web-crawl cells —
+	// the paper's own weakest — can dip under 1x) and every per-algorithm
+	// geomean.
+	if gpWins*10 < len(res.Cells)*8 {
+		t.Errorf("JetStream beat cold start in only %d of %d cells", gpWins, len(res.Cells))
+	}
+	if swWins*10 < len(res.Cells)*8 {
+		t.Errorf("JetStream beat software in only %d of %d cells", swWins, len(res.Cells))
+	}
+	for _, algName := range append(append([]string{}, SelectiveAlgos...), AccumulativeAlgos...) {
+		gp, sw := res.GeoMeans(algName)
+		if gp <= 1 {
+			t.Errorf("%s: geomean speedup over cold start %.2fx", algName, gp)
+		}
+		if sw <= 1 {
+			t.Errorf("%s: geomean speedup over software %.2fx", algName, sw)
+		}
+	}
+	// PageRank's software comparator (GraphBolt) should be the weakest
+	// baseline, as in the paper (165x mean vs ~8-13x for KickStarter).
+	_, gbPR := res.GeoMeans("pagerank")
+	_, ksSSSP := res.GeoMeans("sssp")
+	if gbPR < ksSSSP {
+		t.Errorf("GraphBolt PR speedup %.1fx should exceed KickStarter SSSP %.1fx", gbPR, ksSSSP)
+	}
+	if !strings.Contains(res.String(), "GMean") {
+		t.Error("Table3 rendering missing GMean")
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid")
+	}
+	r := quickRunner()
+	res := r.Fig9()
+	below, vsum := 0, 0.0
+	for _, c := range res.Cells {
+		if c.VertexRatio <= 0 || c.EdgeRatio <= 0 {
+			t.Errorf("%s/%s: non-positive ratios", c.Algo, c.Dataset)
+		}
+		if c.VertexRatio < 1 && c.EdgeRatio < 1 {
+			below++
+		}
+		vsum += c.VertexRatio
+	}
+	// Fig 9's claim: JetStream touches a small fraction of the cold-start
+	// accesses — require it in the large majority of cells and a low mean.
+	if below*10 < len(res.Cells)*8 {
+		t.Errorf("access ratios below 1 in only %d of %d cells", below, len(res.Cells))
+	}
+	if mean := vsum / float64(len(res.Cells)); mean > 0.6 {
+		t.Errorf("mean vertex-access ratio %.2f, want well below cold start", mean)
+	}
+	_ = res.String()
+}
+
+func TestFig10Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid")
+	}
+	r := quickRunner()
+	res := r.Fig10()
+	var jsMore, ksMore int
+	for _, c := range res.Cells {
+		if c.JetResets <= c.KSResets {
+			ksMore++
+		} else {
+			jsMore++
+		}
+	}
+	// The paper's claim: JetStream's exact source tracking "often finds
+	// smaller set of impacted vertices" — require it in the majority of
+	// cells.
+	if ksMore <= jsMore {
+		t.Errorf("KickStarter reset more in only %d of %d cells", ksMore, ksMore+jsMore)
+	}
+	_ = res.String()
+}
+
+func TestFig11Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid")
+	}
+	r := quickRunner()
+	res := r.Fig11()
+	var jetBetter int
+	for _, c := range res.Cells {
+		if c.JetUtil <= 0 || c.GPUtil <= 0 || c.JetUtil > 1 || c.GPUtil > 1 {
+			t.Errorf("%s/%s: utilizations out of range (%.2f, %.2f)", c.Algo, c.Dataset, c.JetUtil, c.GPUtil)
+		}
+		if c.JetUtil > c.GPUtil {
+			jetBetter++
+		}
+	}
+	// Fig 11: JetStream's sparse accesses harvest *less* spatial locality
+	// than GraphPulse's dense rounds in most workloads.
+	if jetBetter > len(res.Cells)/3 {
+		t.Errorf("JetStream beat GraphPulse utilization in %d of %d cells; expected a clear minority", jetBetter, len(res.Cells))
+	}
+	_ = res.String()
+}
+
+func TestFig12Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid")
+	}
+	r := quickRunner()
+	res := r.Fig12()
+	for _, c := range res.Cells {
+		if c.DAP <= 0 || c.VAP <= 0 || c.Base <= 0 {
+			t.Fatalf("%s/%s: non-positive speedups", c.Dataset, c.Algo)
+		}
+		// DAP must dominate the base policy everywhere (Fig 12's headline).
+		if c.DAP < c.Base {
+			t.Errorf("%s/%s: DAP %.1fx below Base %.1fx", c.Dataset, c.Algo, c.DAP, c.Base)
+		}
+	}
+	// VAP helps SSSP/SSWP (distinct values) but not BFS/CC (uniform values):
+	// check it beats Base for at least one weighted workload.
+	vapWins := false
+	for _, c := range res.Cells {
+		if (c.Algo == "sssp" || c.Algo == "sswp") && c.VAP > c.Base {
+			vapWins = true
+		}
+	}
+	if !vapWins {
+		t.Error("VAP never beat Base on the weighted workloads")
+	}
+	_ = res.String()
+}
+
+func TestFig13Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid")
+	}
+	r := quickRunner()
+	res := r.Fig13()
+	if len(res.Series) != 2 {
+		t.Fatalf("want sssp+pagerank series, got %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		// JetStream's relative speedup must grow monotonically as batches
+		// shrink (points are ordered largest batch first).
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Jet < s.Points[i-1].Jet {
+				t.Errorf("%s: JetStream speedup fell from %.2f to %.2f as batch shrank",
+					s.Algo, s.Points[i-1].Jet, s.Points[i].Jet)
+			}
+		}
+		// The software framework must stay behind JetStream at every batch
+		// size. (The paper's stronger claim — the gap *widens* as batches
+		// shrink — holds at the full workload scale, recorded in
+		// EXPERIMENTS.md; quick-mode batches collapse to single digits where
+		// both systems hit their floors.)
+		for _, p := range s.Points {
+			if p.KS_GB >= p.Jet {
+				t.Errorf("%s: software ahead of JetStream at batch %d", s.Algo, p.PaperBatch)
+			}
+		}
+	}
+	_ = res.String()
+}
+
+func TestFig14Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid")
+	}
+	r := quickRunner()
+	res := r.Fig14()
+	for _, s := range res.Series {
+		var ins, del float64
+		for _, p := range s.Points {
+			if p.InsertPct == 100 {
+				ins = p.Jet
+			}
+			if p.InsertPct == 0 {
+				del = p.Jet
+			}
+		}
+		// Fig 14: deletion-only batches are several times slower than
+		// insertion-only for selective algorithms.
+		if del <= ins {
+			t.Errorf("%s: delete-only (%.2f) not slower than insert-only (%.2f)", s.Algo, del, ins)
+		}
+	}
+	_ = res.String()
+}
+
+func TestTable4Renders(t *testing.T) {
+	out := quickRunner().Table4()
+	for _, want := range []string{"Queue", "Network", "Total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table4 missing %q", want)
+		}
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid")
+	}
+	r := quickRunner()
+	res := r.Ablations()
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d ablation rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// Removing any mechanism must not make the system cheaper.
+		if row.CyclesX < 0.95 {
+			t.Errorf("%s/%s: ablated config is cheaper (%.2fx)", row.Mechanism, row.Algo, row.CyclesX)
+		}
+	}
+	// The fused net-event rollback is the dominant accumulative win: the
+	// literal two-phase flow must cost clearly more events.
+	for _, row := range res.Rows {
+		if row.Mechanism == "literal two-phase rollback" && row.EventsX < 1.5 {
+			t.Errorf("two-phase rollback only %.2fx more events", row.EventsX)
+		}
+	}
+	_ = res.String()
+}

@@ -1,0 +1,488 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"jetstream/internal/algo"
+	"jetstream/internal/core"
+	"jetstream/internal/engine"
+	"jetstream/internal/event"
+	"jetstream/internal/graph"
+	"jetstream/internal/power"
+	"jetstream/internal/stats"
+	"jetstream/internal/sw"
+)
+
+// Datasets in paper order (Table 2 / Table 3 columns).
+var DatasetNames = []string{"WK", "FB", "LJ", "UK", "TW"}
+
+// SelectiveAlgos and AccumulativeAlgos in Table 3 row order.
+var (
+	SelectiveAlgos    = []string{"sswp", "sssp", "bfs", "cc"}
+	AccumulativeAlgos = []string{"pagerank", "adsorption"}
+)
+
+// ---------------------------------------------------------------------------
+// Table 1 — experimental configurations
+// ---------------------------------------------------------------------------
+
+// Table1 renders the hardware/software configuration pair.
+func (r *Runner) Table1() string {
+	acc := engine.DefaultConfig()
+	cpu := sw.DefaultCPUConfig()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: experimental configurations\n")
+	fmt.Fprintf(&b, "%-22s %-28s %-28s\n", "", "Software framework", "JetStream")
+	fmt.Fprintf(&b, "%-22s %-28s %-28s\n", "Compute unit",
+		fmt.Sprintf("%dx core @3GHz (modeled)", cpu.Cores),
+		fmt.Sprintf("%dx processor @%.0fGHz", acc.Processors, acc.ClockHz/1e9))
+	fmt.Fprintf(&b, "%-22s %-28s %-28s\n", "On-chip memory", "24MB L2 (modeled)",
+		fmt.Sprintf("%dMB queue eDRAM", acc.QueueBytes>>20))
+	fmt.Fprintf(&b, "%-22s %-28s %-28s\n", "Off-chip bandwidth", "4x DDR4 19GB/s (modeled)",
+		fmt.Sprintf("%dx DDR3 17GB/s", acc.DRAM.Channels))
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — input graphs
+// ---------------------------------------------------------------------------
+
+// Table2 renders the scaled workload inventory with measured structure.
+func (r *Runner) Table2() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: input graphs (synthetic stand-ins; %s)\n", ScaleNote)
+	fmt.Fprintf(&b, "%-6s %10s %10s %8s %8s  %s\n", "Graph", "Nodes", "Edges", "Depth", "MaxDeg", "Topology class")
+	desc := map[string]string{
+		"WK": "web-crawl-like: narrow, long paths",
+		"FB": "social: highly connected, power law",
+		"LJ": "social: highly connected, power law",
+		"UK": "web-crawl-like: narrow, long paths (larger)",
+		"TW": "social: largest, heavy tail",
+	}
+	for _, name := range DatasetNames {
+		g := r.dataset(name)
+		st := graph.ComputeStats(g)
+		fmt.Fprintf(&b, "%-6s %10d %10d %8d %8d  %s\n",
+			name, g.NumVertices(), g.NumEdges(), st.EstimatedDepth, st.MaxOutDegree, desc[name])
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — execution time per query + speedups
+// ---------------------------------------------------------------------------
+
+// Table3Cell is one (algorithm, dataset) measurement.
+type Table3Cell struct {
+	Algo, Dataset string
+	JetMS         float64 // JetStream ms per batch
+	GPSpeedup     float64 // cold-start GraphPulse time / JetStream time
+	SWSpeedup     float64 // KickStarter or GraphBolt time / JetStream time
+	SWName        string  // "KS" or "GB"
+}
+
+// Table3Result holds the full grid plus geometric means per algorithm.
+type Table3Result struct {
+	Cells []Table3Cell
+}
+
+// Table3 reproduces the headline comparison: per-batch execution time for
+// batches of the scaled 100K-update size (70% insert / 30% delete), with
+// speedups over cold-start GraphPulse and the software frameworks.
+func (r *Runner) Table3() *Table3Result {
+	out := &Table3Result{}
+	for _, algName := range append(append([]string{}, SelectiveAlgos...), AccumulativeAlgos...) {
+		for _, ds := range DatasetNames {
+			a := r.algorithm(algName)
+			g, sym := r.workload(ds, algName)
+			bs := r.batches(g, r.nBatches(), r.batchSize(g, 100_000), 0.7, sym, r.insertLocality(ds))
+			jet := r.runJetStream(g, a, core.OptDAP, bs)
+			gp := r.runGraphPulseCold(g, r.algorithm(algName), bs)
+			swMS, _ := r.runSoftware(g, r.algorithm(algName), bs)
+			swName := "KS"
+			if algName == "pagerank" || algName == "adsorption" {
+				swName = "GB"
+			}
+			out.Cells = append(out.Cells, Table3Cell{
+				Algo: algName, Dataset: ds,
+				JetMS:     jet.msPerBatch,
+				GPSpeedup: gp.msPerBatch / jet.msPerBatch,
+				SWSpeedup: swMS / jet.msPerBatch,
+				SWName:    swName,
+			})
+		}
+	}
+	return out
+}
+
+// GeoMeans returns per-algorithm geometric-mean speedups (GP, SW).
+func (t *Table3Result) GeoMeans(algName string) (gp, sw float64) {
+	var gps, sws []float64
+	for _, c := range t.Cells {
+		if c.Algo == algName {
+			gps = append(gps, c.GPSpeedup)
+			sws = append(sws, c.SWSpeedup)
+		}
+	}
+	return stats.GeoMean(gps), stats.GeoMean(sws)
+}
+
+func (t *Table3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: per-batch execution time (ms) and speedups (scaled batches, 70:30 ins:del)\n")
+	fmt.Fprintf(&b, "%-11s %-5s", "Algo", "row")
+	for _, ds := range DatasetNames {
+		fmt.Fprintf(&b, " %9s", ds)
+	}
+	fmt.Fprintf(&b, " %9s\n", "GMean")
+	byAlgo := map[string][]Table3Cell{}
+	var order []string
+	for _, c := range t.Cells {
+		if _, ok := byAlgo[c.Algo]; !ok {
+			order = append(order, c.Algo)
+		}
+		byAlgo[c.Algo] = append(byAlgo[c.Algo], c)
+	}
+	for _, algName := range order {
+		cells := byAlgo[algName]
+		fmt.Fprintf(&b, "%-11s %-5s", algName, "Jet")
+		for _, c := range cells {
+			fmt.Fprintf(&b, " %9.2f", c.JetMS)
+		}
+		fmt.Fprintf(&b, "\n%-11s %-5s", "", "GP")
+		for _, c := range cells {
+			fmt.Fprintf(&b, " %9s", fmtSpeedup(c.GPSpeedup))
+		}
+		gp, swm := t.GeoMeans(algName)
+		fmt.Fprintf(&b, " %9s", fmtSpeedup(gp))
+		fmt.Fprintf(&b, "\n%-11s %-5s", "", cells[0].SWName)
+		for _, c := range cells {
+			fmt.Fprintf(&b, " %9s", fmtSpeedup(c.SWSpeedup))
+		}
+		fmt.Fprintf(&b, " %9s\n", fmtSpeedup(swm))
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 9 — vertex and edge accesses normalized to GraphPulse
+// ---------------------------------------------------------------------------
+
+// Fig9Cell is one normalized access measurement.
+type Fig9Cell struct {
+	Algo, Dataset          string
+	VertexRatio, EdgeRatio float64
+}
+
+// Fig9Result is the access-ratio grid.
+type Fig9Result struct{ Cells []Fig9Cell }
+
+// Fig9 measures JetStream's per-batch vertex/edge accesses relative to a
+// cold-start GraphPulse recomputation of the same batch.
+func (r *Runner) Fig9() *Fig9Result {
+	out := &Fig9Result{}
+	for _, algName := range []string{"sswp", "sssp", "bfs", "cc", "pagerank"} {
+		for _, ds := range []string{"FB", "WK", "LJ", "UK"} {
+			a := r.algorithm(algName)
+			g, sym := r.workload(ds, algName)
+			bs := r.batches(g, r.nBatches(), r.batchSize(g, 100_000), 0.7, sym, r.insertLocality(ds))
+			jet := r.runJetStream(g, a, core.OptDAP, bs)
+			gp := r.runGraphPulseCold(g, r.algorithm(algName), bs)
+			n := uint64(len(bs))
+			out.Cells = append(out.Cells, Fig9Cell{
+				Algo: algName, Dataset: ds,
+				VertexRatio: float64(jet.vertexAcc/n) / float64(gp.vertexAcc),
+				EdgeRatio:   float64(jet.edgeAcc/n) / float64(gp.edgeAcc),
+			})
+		}
+	}
+	return out
+}
+
+func (f *Fig9Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 9: JetStream vertex/edge accesses normalized to GraphPulse cold start\n")
+	fmt.Fprintf(&b, "%-10s %-5s %8s %8s\n", "Algo", "Graph", "Vertex", "Edge")
+	for _, c := range f.Cells {
+		fmt.Fprintf(&b, "%-10s %-5s %8.3f %8.3f\n", c.Algo, c.Dataset, c.VertexRatio, c.EdgeRatio)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 10 — vertices reset by a delete-only batch
+// ---------------------------------------------------------------------------
+
+// Fig10Cell compares reset-set sizes.
+type Fig10Cell struct {
+	Algo, Dataset       string
+	JetResets, KSResets uint64
+}
+
+// Fig10Result is the reset-count grid.
+type Fig10Result struct{ Cells []Fig10Cell }
+
+// Fig10 counts vertices reset by the scaled 30K-deletion batch in JetStream
+// (DAP) and KickStarter.
+func (r *Runner) Fig10() *Fig10Result {
+	out := &Fig10Result{}
+	for _, algName := range SelectiveAlgos {
+		for _, ds := range DatasetNames {
+			a := r.algorithm(algName)
+			g, sym := r.workload(ds, algName)
+			bs := r.batches(g, 1, r.batchSize(g, 30_000), 0, sym, r.insertLocality(ds)) // deletions only
+			jet := r.runJetStream(g, a, core.OptDAP, bs)
+			_, ksResets := r.runSoftware(g, r.algorithm(algName), bs)
+			out.Cells = append(out.Cells, Fig10Cell{
+				Algo: algName, Dataset: ds,
+				JetResets: jet.resets, KSResets: uint64(ksResets),
+			})
+		}
+	}
+	return out
+}
+
+func (f *Fig10Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 10: vertices reset by a delete-only batch (scaled 30K)\n")
+	fmt.Fprintf(&b, "%-10s %-5s %10s %12s\n", "Algo", "Graph", "JetStream", "KickStarter")
+	for _, c := range f.Cells {
+		fmt.Fprintf(&b, "%-10s %-5s %10d %12d\n", c.Algo, c.Dataset, c.JetResets, c.KSResets)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 11 — off-chip transfer utilization
+// ---------------------------------------------------------------------------
+
+// Fig11Cell compares bytes-used/bytes-transferred ratios.
+type Fig11Cell struct {
+	Algo, Dataset   string
+	JetUtil, GPUtil float64
+}
+
+// Fig11Result is the utilization grid.
+type Fig11Result struct{ Cells []Fig11Cell }
+
+// Fig11 measures the ratio of bytes consumed by the compute engines to bytes
+// transferred from DRAM, for JetStream streaming batches vs GraphPulse cold
+// starts.
+func (r *Runner) Fig11() *Fig11Result {
+	out := &Fig11Result{}
+	for _, algName := range []string{"pagerank", "sswp", "sssp", "bfs", "cc"} {
+		for _, ds := range DatasetNames {
+			a := r.algorithm(algName)
+			g, sym := r.workload(ds, algName)
+			bs := r.batches(g, 1, r.batchSize(g, 100_000), 0.7, sym, r.insertLocality(ds))
+			jet := r.runJetStream(g, a, core.OptDAP, bs)
+			gp := r.runGraphPulseCold(g, r.algorithm(algName), bs)
+			out.Cells = append(out.Cells, Fig11Cell{
+				Algo: algName, Dataset: ds,
+				JetUtil: jet.memUtil, GPUtil: gp.memUtil,
+			})
+		}
+	}
+	return out
+}
+
+func (f *Fig11Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 11: utilization of off-chip memory transfers (used/transferred)\n")
+	fmt.Fprintf(&b, "%-10s %-5s %10s %10s\n", "Algo", "Graph", "JetStream", "GraphPulse")
+	for _, c := range f.Cells {
+		fmt.Fprintf(&b, "%-10s %-5s %10.3f %10.3f\n", c.Algo, c.Dataset, c.JetUtil, c.GPUtil)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 12 — effect of the VAP and DAP optimizations
+// ---------------------------------------------------------------------------
+
+// Fig12Cell is the speedup over cold-start GraphPulse at one opt level.
+type Fig12Cell struct {
+	Algo, Dataset  string
+	Base, VAP, DAP float64
+}
+
+// Fig12Result is the optimization-sweep grid.
+type Fig12Result struct{ Cells []Fig12Cell }
+
+// Fig12 sweeps the optimization levels on LiveJournal and UK-2002.
+func (r *Runner) Fig12() *Fig12Result {
+	out := &Fig12Result{}
+	for _, ds := range []string{"LJ", "UK"} {
+		for _, algName := range SelectiveAlgos {
+			a := r.algorithm(algName)
+			g, sym := r.workload(ds, algName)
+			bs := r.batches(g, r.nBatches(), r.batchSize(g, 100_000), 0.7, sym, r.insertLocality(ds))
+			gp := r.runGraphPulseCold(g, r.algorithm(algName), bs)
+			cell := Fig12Cell{Algo: algName, Dataset: ds}
+			cell.Base = gp.msPerBatch / r.runJetStream(g, a, core.OptBase, bs).msPerBatch
+			cell.VAP = gp.msPerBatch / r.runJetStream(g, r.algorithm(algName), core.OptVAP, bs).msPerBatch
+			cell.DAP = gp.msPerBatch / r.runJetStream(g, r.algorithm(algName), core.OptDAP, bs).msPerBatch
+			out.Cells = append(out.Cells, cell)
+		}
+	}
+	return out
+}
+
+func (f *Fig12Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 12: speedup over GraphPulse for Base / +VAP / +DAP\n")
+	fmt.Fprintf(&b, "%-5s %-10s %8s %8s %8s\n", "Graph", "Algo", "Base", "+VAP", "+DAP")
+	for _, c := range f.Cells {
+		fmt.Fprintf(&b, "%-5s %-10s %8.1f %8.1f %8.1f\n", c.Dataset, c.Algo, c.Base, c.VAP, c.DAP)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 13 — sensitivity to batch size
+// ---------------------------------------------------------------------------
+
+// Fig13Point is one batch-size measurement, as speedup relative to JetStream
+// at the largest (baseline) batch size.
+type Fig13Point struct {
+	PaperBatch int // the paper-scale batch size this represents
+	Jet, KS_GB float64
+}
+
+// Fig13Series is one algorithm's sweep.
+type Fig13Series struct {
+	Algo   string
+	SWName string
+	Points []Fig13Point
+}
+
+// Fig13Result has the SSSP and PageRank sweeps on LiveJournal.
+type Fig13Result struct{ Series []Fig13Series }
+
+// Fig13 sweeps batch sizes (paper scale 100..100K -> ours 1..1000) on LJ;
+// each point is normalized to JetStream's per-batch time at the baseline
+// batch size, mirroring the paper's y-axis.
+func (r *Runner) Fig13() *Fig13Result {
+	paperSizes := []int{100_000, 10_000, 1_000, 100}
+	out := &Fig13Result{}
+	for _, algName := range []string{"sssp", "pagerank"} {
+		a := r.algorithm(algName)
+		g, sym := r.workload("LJ", algName)
+		ser := Fig13Series{Algo: algName, SWName: "KS"}
+		if a.Class() == algo.Accumulative {
+			ser.SWName = "GB"
+		}
+		var jetBaseline float64
+		seen := map[int]bool{}
+		for i, ps := range paperSizes {
+			size := r.batchSize(g, ps)
+			if seen[size] {
+				continue // scaled sizes collapsed; skip duplicates
+			}
+			seen[size] = true
+			bs := r.batches(g, 1, size, 0.7, sym, 0)
+			jet := r.runJetStream(g, r.algorithm(algName), core.OptDAP, bs)
+			swMS, _ := r.runSoftware(g, r.algorithm(algName), bs)
+			if i == 0 {
+				jetBaseline = jet.msPerBatch
+			}
+			ser.Points = append(ser.Points, Fig13Point{
+				PaperBatch: ps,
+				Jet:        jetBaseline / jet.msPerBatch,
+				KS_GB:      jetBaseline / swMS,
+			})
+		}
+		out.Series = append(out.Series, ser)
+	}
+	return out
+}
+
+func (f *Fig13Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 13: batch-size sensitivity on LJ (speedup vs JetStream@100K-equivalent)\n")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%s:\n%-12s %12s %12s\n", s.Algo, "Batch(paper)", "JetStream", s.SWName)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%-12d %12.2f %12.4f\n", p.PaperBatch, p.Jet, p.KS_GB)
+		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 14 — sensitivity to batch composition
+// ---------------------------------------------------------------------------
+
+// Fig14Point is one insert:delete mix, normalized to the 50:50 JetStream run.
+type Fig14Point struct {
+	InsertPct int
+	Jet, KS   float64 // normalized runtime
+}
+
+// Fig14Series is one algorithm's sweep.
+type Fig14Series struct {
+	Algo   string
+	Points []Fig14Point
+}
+
+// Fig14Result has the SSSP and CC sweeps on LiveJournal.
+type Fig14Result struct{ Series []Fig14Series }
+
+// Fig14 sweeps the batch composition 100:0 / 50:50 / 0:100 on LJ.
+func (r *Runner) Fig14() *Fig14Result {
+	out := &Fig14Result{}
+	for _, algName := range []string{"sssp", "cc"} {
+		g, sym := r.workload("LJ", algName)
+		size := r.batchSize(g, 100_000)
+		ser := Fig14Series{Algo: algName}
+		var jetBase, ksBase float64
+		type meas struct{ jet, ks float64 }
+		var ms []meas
+		fracs := []float64{1.0, 0.5, 0.0}
+		for _, frac := range fracs {
+			bs := r.batches(g, 1, size, frac, sym, 0)
+			jet := r.runJetStream(g, r.algorithm(algName), core.OptDAP, bs)
+			swMS, _ := r.runSoftware(g, r.algorithm(algName), bs)
+			ms = append(ms, meas{jet.msPerBatch, swMS})
+			if frac == 0.5 {
+				jetBase, ksBase = jet.msPerBatch, swMS
+			}
+		}
+		for i, frac := range fracs {
+			ser.Points = append(ser.Points, Fig14Point{
+				InsertPct: int(frac * 100),
+				Jet:       ms[i].jet / jetBase,
+				KS:        ms[i].ks / ksBase,
+			})
+		}
+		out.Series = append(out.Series, ser)
+	}
+	return out
+}
+
+func (f *Fig14Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 14: batch-composition sensitivity on LJ (runtime normalized to 50:50)\n")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%s:\n%-12s %10s %10s\n", s.Algo, "Ins:Del", "JetStream", "KickStarter")
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%3d:%-8d %10.2f %10.2f\n", p.InsertPct, 100-p.InsertPct, p.Jet, p.KS)
+		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 — power and area
+// ---------------------------------------------------------------------------
+
+// Table4 renders the power/area estimate with deltas vs GraphPulse.
+func (r *Runner) Table4() string {
+	gpCfg := engine.DefaultConfig()
+	gpCfg.EventMode = event.ModeGraphPulse
+	jsCfg := core.DefaultConfig().Engine
+	tech := power.Default22nm()
+	return "Table 4: power and area of the accelerator components (vs GraphPulse)\n" +
+		power.Table(power.Estimate(jsCfg, tech), power.Estimate(gpCfg, tech))
+}

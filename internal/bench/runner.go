@@ -1,0 +1,309 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§6) on the scaled synthetic workloads,
+// running JetStream, cold-start GraphPulse, KickStarter and GraphBolt over
+// identical batch sequences. cmd/experiments prints the reports; the root
+// bench_test.go wraps the same entry points as Go benchmarks.
+package bench
+
+import (
+	"fmt"
+
+	"jetstream/internal/algo"
+	"jetstream/internal/core"
+	"jetstream/internal/engine"
+	"jetstream/internal/event"
+	"jetstream/internal/graph"
+	"jetstream/internal/stats"
+	"jetstream/internal/stream"
+	"jetstream/internal/sw"
+)
+
+// ScaleNote documents the workload scaling: the paper's datasets carry
+// 45M-1.46B edges; the synthetic stand-ins are ~100x smaller, so paper batch
+// sizes are scaled to the same *edge fraction* each graph sees. The paper's
+// reference is 100K updates against LiveJournal's 69M edges (~0.14%).
+const ScaleNote = "batch sizes scaled to the paper's update-to-edge fraction (100K : 69M)"
+
+// paperRefEdges is the edge count the paper's batch sizes are quoted against.
+const paperRefEdges = 69_000_000
+
+// workloadScale scales the software frameworks' serial costs out of the
+// comparison. At paper scale, barriers and per-batch overheads are ~1% of
+// KickStarter's parallel work (0.3ms of barriers against ~35ms batches), so
+// the mini-scale harness — whose parallel work shrank ~100-1000x with the batch
+// sizes while barrier costs would not — removes them at the same proportion
+// to keep the hardware/software ratio comparable (see CPUConfig.ScaleSerial).
+const workloadScale = 100
+
+// Runner executes experiments with a fixed seed. Quick mode shrinks the
+// datasets and batch counts so the whole suite runs in seconds (used by `go
+// test -bench` and -short runs).
+type Runner struct {
+	Seed  int64
+	Quick bool
+	// Eps is the accumulative convergence threshold. It is chosen so the
+	// ratio of a batch's injected delta mass to the threshold matches the
+	// paper's scale: the stand-in graphs hold ~100x less total rank mass, so
+	// a proportionally larger absolute threshold reproduces the regime in
+	// which incremental ripples die out instead of saturating the graph.
+	Eps float64
+
+	graphs map[string]*graph.CSR
+}
+
+// NewRunner returns a Runner; quick selects the reduced configuration.
+func NewRunner(quick bool) *Runner {
+	return &Runner{Seed: 42, Quick: quick, Eps: 1e-4, graphs: map[string]*graph.CSR{}}
+}
+
+// quickDatasets mirrors Table 2's topology classes at one-tenth the default
+// harness scale.
+func (r *Runner) dataset(name string) *graph.CSR {
+	key := name
+	if g, ok := r.graphs[key]; ok {
+		return g
+	}
+	var g *graph.CSR
+	if r.Quick {
+		switch name {
+		case "WK":
+			g = graph.WebCrawl(graph.WebCrawlConfig{Vertices: 4000, AvgDegree: 9, Locality: 16, LongRange: 0.1, Seed: r.Seed})
+		case "FB":
+			g = graph.RMAT(graph.RMATConfig{Vertices: 1800, Edges: 24000, Seed: r.Seed})
+		case "LJ":
+			g = graph.RMAT(graph.RMATConfig{Vertices: 3000, Edges: 40000, Seed: r.Seed})
+		case "UK":
+			g = graph.WebCrawl(graph.WebCrawlConfig{Vertices: 8000, AvgDegree: 11, Locality: 20, LongRange: 0.08, Seed: r.Seed})
+		case "TW":
+			g = graph.RMAT(graph.RMATConfig{Vertices: 8000, Edges: 110000, A: 0.6, B: 0.18, C: 0.18, Seed: r.Seed})
+		default:
+			panic("bench: unknown dataset " + name)
+		}
+	} else {
+		d, err := graph.DatasetByName(name)
+		if err != nil {
+			panic(err)
+		}
+		g = d.Build(r.Seed)
+	}
+	r.graphs[key] = g
+	return g
+}
+
+// symmetric returns the symmetrized variant (cached separately).
+func (r *Runner) symmetric(name string) *graph.CSR {
+	key := name + "/sym"
+	if g, ok := r.graphs[key]; ok {
+		return g
+	}
+	g := graph.Symmetrize(r.dataset(name))
+	r.graphs[key] = g
+	return g
+}
+
+// workload returns the dataset prepared for the algorithm (symmetrized for
+// CC) plus the matching stream symmetry flag.
+func (r *Runner) workload(dataset, algName string) (*graph.CSR, bool) {
+	if algName == "cc" {
+		return r.symmetric(dataset), true
+	}
+	return r.dataset(dataset), false
+}
+
+// insertLocality returns the stream generator's insertion locality for the
+// dataset: web-crawl-class graphs receive crawl-local inserts (matching how
+// those graphs grow); social graphs receive uniform inserts.
+func (r *Runner) insertLocality(dataset string) int {
+	if dataset == "WK" || dataset == "UK" {
+		return 48
+	}
+	return 0
+}
+
+func (r *Runner) algorithm(name string) algo.Algorithm {
+	a, err := algo.New(name, 0, r.Eps)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// batchSize returns the scaled equivalent of a paper batch size against g:
+// the same fraction of the graph's edges that the paper's batch is of
+// LiveJournal's.
+func (r *Runner) batchSize(g *graph.CSR, paper int) int {
+	s := int(float64(paper) * float64(g.NumEdges()) / paperRefEdges)
+	if s < 4 {
+		s = 4
+	}
+	return s
+}
+
+// batches pre-generates n consecutive valid batches (and the intermediate
+// graph versions) so every system replays the identical update stream.
+func (r *Runner) batches(g *graph.CSR, n, size int, insertFrac float64, symmetric bool, locality int) []graph.Batch {
+	gen := stream.NewGenerator(stream.Config{
+		BatchSize: size, InsertFrac: insertFrac, Symmetric: symmetric,
+		Locality: locality, Seed: r.Seed ^ 0x5f5f,
+	})
+	out := make([]graph.Batch, 0, n)
+	cur := g
+	for i := 0; i < n; i++ {
+		b := gen.Next(cur)
+		out = append(out, b)
+		cur = cur.MustApply(b)
+	}
+	return out
+}
+
+// jetResult is one streaming measurement.
+type jetResult struct {
+	msPerBatch  float64 // mean per-batch time in milliseconds
+	cycles      float64 // mean per-batch cycles
+	initMS      float64
+	perBatch    []float64
+	resets      uint64 // total vertices reset across batches
+	vertexAcc   uint64 // vertex accesses across batches
+	edgeAcc     uint64
+	memUtil     float64
+	eventsTotal uint64
+}
+
+// runJetStream replays the batch sequence through a JetStream instance.
+func (r *Runner) runJetStream(g *graph.CSR, a algo.Algorithm, opt core.OptLevel, bs []graph.Batch) jetResult {
+	return r.runJetStreamCfg(g, a, core.ConfigWithOpt(opt), bs)
+}
+
+// runJetStreamCfg replays the batch sequence under an explicit configuration
+// (the ablation sweeps use it to switch mechanisms off).
+func (r *Runner) runJetStreamCfg(g *graph.CSR, a algo.Algorithm, cfg core.Config, bs []graph.Batch) jetResult {
+	st := &stats.Counters{}
+	js := core.New(g, a, cfg, st)
+	js.RunInitial()
+	initCycles := js.Cycles()
+	prevCycles := initCycles
+	prev := *st
+
+	var res jetResult
+	res.initMS = cfg.Engine.CyclesToSeconds(initCycles) * 1e3
+	for _, b := range bs {
+		if err := js.ApplyBatch(b); err != nil {
+			panic(err)
+		}
+		cyc := js.Cycles() - prevCycles
+		prevCycles = js.Cycles()
+		res.perBatch = append(res.perBatch, cfg.Engine.CyclesToSeconds(cyc)*1e3)
+	}
+	res.resets = st.VerticesReset - prev.VerticesReset
+	res.vertexAcc = (st.VertexReads + st.VertexWrites) - (prev.VertexReads + prev.VertexWrites)
+	res.edgeAcc = st.EdgeReads - prev.EdgeReads
+	res.eventsTotal = st.EventsProcessed - prev.EventsProcessed
+	batchBytesUsed := st.BytesUsed - prev.BytesUsed
+	batchBytesMoved := st.BytesTransferred - prev.BytesTransferred
+	if batchBytesMoved > 0 {
+		res.memUtil = float64(batchBytesUsed) / float64(batchBytesMoved)
+		if res.memUtil > 1 {
+			res.memUtil = 1
+		}
+	}
+	for _, ms := range res.perBatch {
+		res.msPerBatch += ms
+	}
+	res.msPerBatch /= float64(len(res.perBatch))
+	res.cycles = float64(js.Cycles()-initCycles) / float64(len(bs))
+	return res
+}
+
+// gpResult measures cold-start GraphPulse recomputation after each batch.
+type gpResult struct {
+	msPerBatch float64
+	vertexAcc  uint64 // per full recomputation (mean)
+	edgeAcc    uint64
+	memUtil    float64
+}
+
+// runGraphPulseCold recomputes from scratch on each post-batch graph version
+// with GraphPulse-configured hardware (the paper's cold-start comparator).
+func (r *Runner) runGraphPulseCold(g *graph.CSR, a algo.Algorithm, bs []graph.Batch) gpResult {
+	cfg := engine.DefaultConfig()
+	cfg.EventMode = event.ModeGraphPulse
+	cur := g
+	var out gpResult
+	var totalCycles uint64
+	var used, moved uint64
+	for _, b := range bs {
+		cur = cur.MustApply(b)
+		st := &stats.Counters{}
+		e := engine.New(cur, a, cfg, st)
+		e.RunToConvergence()
+		totalCycles += e.Cycles()
+		out.vertexAcc += st.VertexReads + st.VertexWrites
+		out.edgeAcc += st.EdgeReads
+		used += st.BytesUsed
+		moved += st.BytesTransferred
+	}
+	n := uint64(len(bs))
+	out.msPerBatch = cfg.CyclesToSeconds(totalCycles) * 1e3 / float64(n)
+	out.vertexAcc /= n
+	out.edgeAcc /= n
+	if moved > 0 {
+		out.memUtil = float64(used) / float64(moved)
+		if out.memUtil > 1 {
+			out.memUtil = 1
+		}
+	}
+	return out
+}
+
+// runSoftware replays the batches through KickStarter (selective) or
+// GraphBolt (accumulative); returns mean ms per batch and total resets.
+func (r *Runner) runSoftware(g *graph.CSR, a algo.Algorithm, bs []graph.Batch) (msPerBatch float64, resets int) {
+	cpu := sw.DefaultCPUConfig().ScaleSerial(workloadScale)
+	var total float64
+	if a.Class() == algo.Selective {
+		k, err := sw.NewKickStarter(g, a, cpu)
+		if err != nil {
+			panic(err)
+		}
+		k.RunInitial()
+		for _, b := range bs {
+			sec, err := k.ApplyBatch(b)
+			if err != nil {
+				panic(err)
+			}
+			total += sec
+			resets += k.LastResets
+		}
+	} else {
+		gb, err := sw.NewGraphBolt(g, a, cpu)
+		if err != nil {
+			panic(err)
+		}
+		gb.RunInitial()
+		for _, b := range bs {
+			sec, err := gb.ApplyBatch(b)
+			if err != nil {
+				panic(err)
+			}
+			total += sec
+		}
+	}
+	return total * 1e3 / float64(len(bs)), resets
+}
+
+// nBatches is how many batches each measurement averages over. Reset-set
+// sizes are heavy-tailed (one deletion high in a dependence tree invalidates
+// a large subtree), so the full harness averages a few batches.
+func (r *Runner) nBatches() int {
+	if r.Quick {
+		return 1
+	}
+	return 3
+}
+
+func fmtSpeedup(x float64) string {
+	if x >= 100 {
+		return fmt.Sprintf("%.0fx", x)
+	}
+	return fmt.Sprintf("%.1fx", x)
+}

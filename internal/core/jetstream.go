@@ -1,0 +1,609 @@
+// Package core implements JetStream — the paper's primary contribution: a
+// streaming extension of the GraphPulse event-driven accelerator that
+// incrementally re-evaluates a query after a batch of edge insertions and
+// deletions instead of recomputing from scratch.
+//
+// The flow follows the paper exactly:
+//
+//   - Edge insertions become ordinary events carrying the contribution the
+//     edge would have delivered (Algorithm 2, §3.3).
+//   - For selective (monotonic) algorithms, deletions trigger a recovery
+//     phase that tags and resets every potentially impacted vertex
+//     (Algorithm 4), followed by reapproximation request events along the
+//     impacted vertices' in-edges, then a regular compute phase on the new
+//     graph (Algorithm 5). The Value-Aware (§5.1) and Dependency-Aware
+//     (§5.2) optimizations prune the tagged set.
+//   - For accumulative algorithms, deletions are negated by events of
+//     negative polarity; vertices with mutated out-edges are turned into
+//     sinks of an intermediate graph while their old contributions are
+//     rolled back, then all their edges are re-inserted (Algorithm 6,
+//     Fig 5).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"jetstream/internal/algo"
+	"jetstream/internal/engine"
+	"jetstream/internal/event"
+	"jetstream/internal/graph"
+	"jetstream/internal/stats"
+)
+
+// OptLevel selects the delete-propagation pruning strategy for selective
+// algorithms (paper §5). Accumulative algorithms ignore it.
+type OptLevel int
+
+const (
+	// OptBase tags every reachable non-Identity vertex (Algorithm 4 as
+	// written) — correct but, as §6.2 notes, it "tags too many vertices,
+	// often leading to work comparable to full recomputation".
+	OptBase OptLevel = iota
+	// OptVAP discards a delete whose carried contribution does not dominate
+	// the receiver's state (Value-Aware Propagation, §5.1).
+	OptVAP
+	// OptDAP resets a vertex only when the delete arrives from the vertex
+	// it actually depends on (Dependency-Aware Propagation, §5.2);
+	// coalescing is disabled during recovery so distinct sources survive.
+	OptDAP
+)
+
+func (o OptLevel) String() string {
+	switch o {
+	case OptBase:
+		return "base"
+	case OptVAP:
+		return "vap"
+	case OptDAP:
+		return "dap"
+	default:
+		return fmt.Sprintf("OptLevel(%d)", int(o))
+	}
+}
+
+// Config configures a JetStream instance.
+type Config struct {
+	Engine engine.Config
+	Opt    OptLevel
+	// Slices partitions the vertex space when > 1 (for graphs exceeding the
+	// queue capacity, §4.7).
+	Slices int
+
+	// Ablation switches (off in the real design; the harness measures their
+	// cost to quantify the design choices).
+
+	// NoCoalesce disables event coalescing everywhere, removing the queue's
+	// central optimization.
+	NoCoalesce bool
+	// TwoPhaseAccumulate uses the paper-literal Algorithm 6 for accumulative
+	// deletion recovery: full-magnitude negation events for every out-edge
+	// of a dirty vertex, a converging rollback phase, then full-magnitude
+	// re-insertion events — instead of fusing the negate/re-add pairs into
+	// net events at the Stream Reader.
+	TwoPhaseAccumulate bool
+}
+
+// DefaultConfig returns the paper's configuration with the DAP optimization,
+// which Fig 12 shows is the strongest across all four selective workloads.
+func DefaultConfig() Config {
+	cfg := Config{Engine: engine.DefaultConfig(), Opt: OptDAP}
+	cfg.Engine.EventMode = event.ModeJetStreamDAP
+	cfg.Engine.VertexBytes = 12 // 8B state + 4B dependency field
+	return cfg
+}
+
+// ConfigWithOpt returns DefaultConfig adjusted for the given optimization
+// level (smaller events and vertex records below DAP).
+func ConfigWithOpt(opt OptLevel) Config {
+	cfg := DefaultConfig()
+	cfg.Opt = opt
+	if opt != OptDAP {
+		cfg.Engine.EventMode = event.ModeJetStream
+		cfg.Engine.VertexBytes = 8
+	}
+	return cfg
+}
+
+// JetStream evaluates one standing query over a streaming graph.
+type JetStream struct {
+	cfg Config
+	eng *engine.Engine
+	alg algo.Algorithm
+	g   *graph.CSR
+	st  *stats.Counters
+
+	// impact is the Impact Buffer (§4.5): ids of vertices reset during the
+	// current recovery phase, revisited to issue request events.
+	impact []graph.VertexID
+}
+
+// New builds a JetStream instance for query alg over initial graph g. st may
+// be nil. Call RunInitial before the first ApplyBatch.
+func New(g *graph.CSR, alg algo.Algorithm, cfg Config, st *stats.Counters) *JetStream {
+	if st == nil {
+		st = &stats.Counters{}
+	}
+	if alg.Class() == algo.Accumulative && cfg.Engine.EventMode == event.ModeJetStreamDAP {
+		// Accumulative algorithms never use dependency tracking (§3.5), so
+		// they keep the smaller JetStream event and vertex footprint even
+		// when the caller asked for the DAP configuration.
+		cfg.Engine.EventMode = event.ModeJetStream
+		cfg.Engine.VertexBytes = 8
+	}
+	var opts []engine.Option
+	if cfg.Opt == OptDAP && alg.Class() == algo.Selective {
+		opts = append(opts, engine.WithDependencyTracking())
+	}
+	if cfg.Slices > 1 {
+		opts = append(opts, engine.WithPartition(cfg.Slices))
+	}
+	j := &JetStream{
+		cfg: cfg,
+		eng: engine.New(g, alg, cfg.Engine, st, opts...),
+		alg: alg,
+		g:   g,
+		st:  st,
+	}
+	if cfg.NoCoalesce {
+		j.eng.Queue().SetCoalescing(false)
+	}
+	return j
+}
+
+// setCoalescing toggles queue coalescing, respecting the NoCoalesce
+// ablation (which pins it off).
+func (j *JetStream) setCoalescing(on bool) {
+	if j.cfg.NoCoalesce {
+		on = false
+	}
+	j.eng.Queue().SetCoalescing(on)
+}
+
+// Graph returns the current graph version.
+func (j *JetStream) Graph() *graph.CSR { return j.g }
+
+// State returns the live vertex states.
+func (j *JetStream) State() []float64 { return j.eng.State() }
+
+// Stats returns the counter sink.
+func (j *JetStream) Stats() *stats.Counters { return j.st }
+
+// Cycles returns the accumulated accelerator cycles.
+func (j *JetStream) Cycles() uint64 { return j.eng.Cycles() }
+
+// Engine exposes the underlying engine (used by the experiment harness).
+func (j *JetStream) Engine() *engine.Engine { return j.eng }
+
+// RunInitial performs the initial static evaluation (identical to
+// GraphPulse, §4.6.1).
+func (j *JetStream) RunInitial() {
+	j.eng.RunToConvergence()
+}
+
+// ApplyBatch incrementally updates the query results for graph version
+// G+Δ. On return the instance holds the new graph version and the converged
+// states for it.
+func (j *JetStream) ApplyBatch(b graph.Batch) error {
+	ng, err := j.g.Apply(b)
+	if err != nil {
+		return err
+	}
+	if j.alg.Class() == algo.Accumulative {
+		if j.cfg.TwoPhaseAccumulate {
+			j.applyAccumulativeTwoPhase(b, ng)
+		} else {
+			j.applyAccumulative(b, ng)
+		}
+	} else {
+		j.applySelective(b, ng)
+	}
+	j.g = ng
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Selective algorithms: Algorithm 5
+// ---------------------------------------------------------------------------
+
+func (j *JetStream) applySelective(b graph.Batch, ng *graph.CSR) {
+	j.impact = j.impact[:0]
+
+	// Phase 1 — ProcessDeletesSelective: the Stream Reader converts each
+	// deleted edge into a delete event for its destination (§4.6.2 "Delete
+	// Setup": the source state is read but not updated; the generation unit
+	// computes the propagated value used by VAP).
+	j.eng.ChargeStreamRead(len(b.Deletes))
+	if j.cfg.Opt == OptDAP {
+		j.setCoalescing(false)
+	}
+	var touched []graph.VertexID
+	for _, de := range b.Deletes {
+		val := j.alg.Identity()
+		if j.cfg.Opt == OptVAP {
+			// The contribution the deleted edge used to deliver, computed
+			// from the source's previous converged state.
+			j.st.VertexReads++
+			touched = append(touched, de.Src)
+			val = j.alg.Propagate(de.Src, j.eng.PeekVertex(de.Src), de.Weight,
+				j.g.OutDegree(de.Src), j.g.OutWeightSum(de.Src))
+		}
+		j.eng.Emit(event.Event{
+			Target: de.Dst,
+			Value:  val,
+			Source: de.Src,
+			Flags:  event.FlagDelete,
+		})
+	}
+	j.eng.ChargeSetup(touched, nil)
+
+	// Phase 2 — ResetImpacted: propagate the delete tags on the previous
+	// graph version until no delete events remain.
+	j.eng.RunPhase(j.deleteHandler())
+	if j.cfg.Opt == OptDAP {
+		j.setCoalescing(true)
+	}
+
+	// Phase 3 — Reapproximate: revisit the Impact Buffer and send request
+	// events along each impacted vertex's incoming edges so neighbors
+	// re-propagate their states (§3.4). In-edges of the new version: every
+	// surviving in-neighbor is asked; inserted in-edges are covered by the
+	// insertion events below.
+	j.eng.ChargeSpill(2 * len(j.impact)) // Impact Buffer round trip (§4.5)
+	var fetches []engine.EdgeFetch
+	requests := 0
+	inRegion := uint64(ng.NumEdges()) // in-CSR lives after the out-CSR
+	for _, v := range j.impact {
+		// Re-seed the vertex's initial-event contribution: the converged
+		// state is the fixpoint over edge contributions AND initial events,
+		// and a reset erased the latter (e.g. CC's self-label, or the query
+		// root under the Base policy). Requests can only restore the former.
+		if val, ok := j.alg.InitialEventFor(v, ng); ok {
+			j.eng.Emit(event.Event{Target: v, Value: val, Source: event.NoSource})
+		}
+		deg := ng.InDegree(v)
+		if deg == 0 {
+			continue
+		}
+		j.st.EdgeReads += uint64(deg)
+		fetches = append(fetches, engine.EdgeFetch{Offset: inRegion + ng.InEdgeOffset(v), Count: deg})
+		ng.InEdges(v, func(src graph.VertexID, _ graph.Weight) {
+			j.st.RequestsIssued++
+			requests++
+			j.eng.Emit(event.Event{
+				Target: src,
+				Value:  j.alg.Identity(),
+				Source: event.NoSource,
+				Flags:  event.FlagRequest,
+			})
+		})
+	}
+	j.eng.ChargeSetup(nil, fetches)
+
+	// Phase 4 — ProcessInsertions (Algorithm 2): one event per inserted
+	// edge, carrying the contribution computed from the source's previous
+	// state. These coalesce with pending request events by OR-ing the flag
+	// bit (§3.5).
+	j.processInsertions(b.Inserts, ng)
+
+	// Phase 5 — switch to the new graph structure and run the regular
+	// computation flow to convergence.
+	j.eng.SetGraph(ng, nil)
+	j.eng.RunPhase(j.eng.ComputeHandler())
+}
+
+// deleteHandler implements the Apply/Propagate logic of the recovery phase
+// (Algorithm 4 with the §5 pruning extensions).
+func (j *JetStream) deleteHandler() engine.Handler {
+	identity := j.alg.Identity()
+	return func(ev event.Event) {
+		v := ev.Target
+		cur := j.eng.ReadVertex(v)
+		if cur == identity {
+			// Already tagged (or never reached): do not propagate again.
+			j.st.DeletesDiscarded++
+			return
+		}
+		switch j.cfg.Opt {
+		case OptVAP:
+			// The deleted contribution cannot have set v's state unless it
+			// dominates it (§5.1).
+			if !algo.Dominates(j.alg, ev.Value, cur) {
+				j.st.DeletesDiscarded++
+				return
+			}
+		case OptDAP:
+			// Only the recorded dependency source may reset v (§5.2).
+			if j.eng.Dep()[v] != ev.Source {
+				j.st.DeletesDiscarded++
+				return
+			}
+		}
+		// Reset logic (§4.4): tag the vertex, record it in the Impact
+		// Buffer, and propagate the delete along its out-edges using the
+		// pre-reset state.
+		j.eng.WriteVertex(v, identity)
+		j.eng.SetDep(v, event.NoSource)
+		j.st.VerticesReset++
+		j.impact = append(j.impact, v)
+
+		deg := j.eng.View().OutDegree(v)
+		wsum := j.eng.View().OutWeightSum(v)
+		j.eng.EmitAlongEdges(v, func(dst graph.VertexID, w graph.Weight) (event.Event, bool) {
+			out := event.Event{Target: dst, Value: identity, Source: v, Flags: event.FlagDelete}
+			if j.cfg.Opt == OptVAP {
+				out.Value = j.alg.Propagate(v, cur, w, deg, wsum)
+			}
+			return out, true
+		})
+	}
+}
+
+// processInsertions queues one event per inserted edge (Algorithm 2). The
+// contribution uses the source's current approximate state and the *new*
+// graph's degree context (only degree-dependent algorithms care, and they
+// take the accumulative path instead).
+func (j *JetStream) processInsertions(inserts []graph.Edge, ng *graph.CSR) {
+	j.eng.ChargeStreamRead(len(inserts))
+	var touched []graph.VertexID
+	emitted := 0
+	for _, e := range inserts {
+		j.st.VertexReads++
+		touched = append(touched, e.Src)
+		val := j.alg.Propagate(e.Src, j.eng.PeekVertex(e.Src), e.Weight,
+			ng.OutDegree(e.Src), ng.OutWeightSum(e.Src))
+		j.eng.Emit(event.Event{Target: e.Dst, Value: val, Source: e.Src})
+		emitted++
+	}
+	j.eng.ChargeSetup(touched, nil)
+}
+
+// ---------------------------------------------------------------------------
+// Accumulative algorithms: Algorithm 6 and Fig 5
+// ---------------------------------------------------------------------------
+
+func (j *JetStream) applyAccumulative(b graph.Batch, ng *graph.CSR) {
+	// Any vertex whose out-adjacency changes sees the weight (1/deg) of all
+	// its out-edges change, so the whole adjacency is deleted and re-added
+	// (Fig 5): collect the dirty sources.
+	dirty := map[graph.VertexID]bool{}
+	for _, e := range b.Deletes {
+		dirty[e.Src] = true
+	}
+	for _, e := range b.Inserts {
+		dirty[e.Src] = true
+	}
+
+	// Deterministic iteration order over the dirty set.
+	order := make([]graph.VertexID, 0, len(dirty))
+	for v := range dirty {
+		order = append(order, v)
+	}
+	sortVertexIDs(order)
+
+	// Phase 1 — ProcessDeleteCumulative (Algorithm 3) fused with the
+	// re-insertions of Fig 5(c): each dirty vertex's previous contribution
+	// (state*Propagate against the old degree) is negated and its new
+	// contribution (same state, new degree) added. Because contributions
+	// are additive and order-free (the Reordering Property), the negate and
+	// re-add events for each destination coalesce at creation into one net
+	// event — for the kept edges of a dirty vertex that net delta is the
+	// tiny 1/olddeg-vs-1/newdeg difference, so the rollback ripple stays
+	// proportional to the actual structural change rather than to the full
+	// adjacency. This is the event-coalescing advantage §1 highlights over
+	// software frameworks, applied at the Stream Reader.
+	var touched []graph.VertexID
+	var fetches []engine.EdgeFetch
+	scanned, emitted := 0, 0
+	net := map[graph.VertexID]float64{}
+	baseState := make([]float64, 0, len(order))
+	for _, u := range order {
+		j.st.VertexReads++
+		touched = append(touched, u)
+		state := j.eng.PeekVertex(u)
+		baseState = append(baseState, state)
+		oldDeg, oldWsum := j.g.OutDegree(u), j.g.OutWeightSum(u)
+		newDeg, newWsum := ng.OutDegree(u), ng.OutWeightSum(u)
+		for k := range net {
+			delete(net, k)
+		}
+		if oldDeg > 0 {
+			scanned += oldDeg
+			fetches = append(fetches, engine.EdgeFetch{Offset: j.g.EdgeOffset(u), Count: oldDeg})
+			j.st.EdgeReads += uint64(oldDeg)
+			j.g.OutEdges(u, func(dst graph.VertexID, w graph.Weight) {
+				net[dst] -= j.alg.Propagate(u, state, w, oldDeg, oldWsum)
+			})
+		}
+		if newDeg > 0 {
+			scanned += newDeg
+			fetches = append(fetches, engine.EdgeFetch{Offset: ng.EdgeOffset(u), Count: newDeg})
+			j.st.EdgeReads += uint64(newDeg)
+			ng.OutEdges(u, func(dst graph.VertexID, w graph.Weight) {
+				net[dst] += j.alg.Propagate(u, state, w, newDeg, newWsum)
+			})
+		}
+		// Emit net events in the new-adjacency order for determinism.
+		emitNet := func(dst graph.VertexID) {
+			if val, ok := net[dst]; ok {
+				delete(net, dst)
+				if val != 0 {
+					emitted++
+					j.eng.Emit(event.New(dst, val))
+				}
+			}
+		}
+		ng.OutEdges(u, func(dst graph.VertexID, _ graph.Weight) { emitNet(dst) })
+		j.g.OutEdges(u, func(dst graph.VertexID, _ graph.Weight) { emitNet(dst) })
+	}
+	j.eng.ChargeStreamRead(scanned)
+	j.eng.ChargeSetup(touched, fetches)
+
+	// Phase 2 — compute on the intermediate graph: the new structure with
+	// every dirty vertex turned into a sink, which breaks cyclic paths
+	// through them while the corrections ripple. (Non-dirty vertices have
+	// identical adjacency in both versions, so masking the new CSR is the
+	// paper's pointer-adjusted intermediate graph.)
+	view := graph.NewView(ng)
+	for _, u := range order {
+		view.Mask(u)
+	}
+	j.eng.SetGraph(ng, view)
+	j.eng.RunPhase(j.eng.ComputeHandler())
+
+	// Phase 3 — while masked, each dirty vertex accumulated deltas it did
+	// not forward; forward them now against the new adjacency, exactly as
+	// if the events had arrived after the unmask.
+	touched = touched[:0]
+	fetches = fetches[:0]
+	emitted = 0
+	for i, u := range order {
+		j.st.VertexReads++
+		touched = append(touched, u)
+		delta := j.eng.PeekVertex(u) - baseState[i]
+		if delta == 0 {
+			continue
+		}
+		deg, wsum := ng.OutDegree(u), ng.OutWeightSum(u)
+		if deg == 0 {
+			continue
+		}
+		fetches = append(fetches, engine.EdgeFetch{Offset: ng.EdgeOffset(u), Count: deg})
+		j.st.EdgeReads += uint64(deg)
+		ng.OutEdges(u, func(dst graph.VertexID, w graph.Weight) {
+			val := j.alg.Propagate(u, delta, w, deg, wsum)
+			if math.Abs(val) <= j.alg.Epsilon() {
+				return
+			}
+			emitted++
+			j.eng.Emit(event.New(dst, val))
+		})
+	}
+	j.eng.ChargeSetup(touched, fetches)
+
+	// Phase 4 — switch to the (unmasked) new graph and recompute.
+	j.eng.SetGraph(ng, nil)
+	j.eng.RunPhase(j.eng.ComputeHandler())
+}
+
+// applyAccumulativeTwoPhase is the paper-literal Algorithm 6 (kept as an
+// ablation): negate every out-edge contribution of each dirty vertex
+// (Algorithm 3 extended per Fig 5), converge the rollback on the
+// intermediate graph, then re-insert all of the dirty vertices' edges and
+// converge again. The production path (applyAccumulative) instead fuses each
+// negate/re-add pair into one net event, which keeps the ripple proportional
+// to the structural change; the experiment harness measures the difference.
+func (j *JetStream) applyAccumulativeTwoPhase(b graph.Batch, ng *graph.CSR) {
+	dirty := map[graph.VertexID]bool{}
+	for _, e := range b.Deletes {
+		dirty[e.Src] = true
+	}
+	for _, e := range b.Inserts {
+		dirty[e.Src] = true
+	}
+	order := make([]graph.VertexID, 0, len(dirty))
+	for v := range dirty {
+		order = append(order, v)
+	}
+	sortVertexIDs(order)
+
+	// Phase 1 — negation events against the old degrees.
+	var touched []graph.VertexID
+	var fetches []engine.EdgeFetch
+	scanned, emitted := 0, 0
+	for _, u := range order {
+		j.st.VertexReads++
+		touched = append(touched, u)
+		state := j.eng.PeekVertex(u)
+		deg, wsum := j.g.OutDegree(u), j.g.OutWeightSum(u)
+		if deg == 0 {
+			continue
+		}
+		scanned += deg
+		fetches = append(fetches, engine.EdgeFetch{Offset: j.g.EdgeOffset(u), Count: deg})
+		j.st.EdgeReads += uint64(deg)
+		j.g.OutEdges(u, func(dst graph.VertexID, w graph.Weight) {
+			if val := -j.alg.Propagate(u, state, w, deg, wsum); val != 0 {
+				emitted++
+				j.eng.Emit(event.New(dst, val))
+			}
+		})
+	}
+	j.eng.ChargeStreamRead(scanned)
+	j.eng.ChargeSetup(touched, fetches)
+
+	// Phase 2 — rollback on the intermediate graph (dirty vertices are
+	// sinks; the old structure is used since only dirty rows differ).
+	view := graph.NewView(j.g)
+	for _, u := range order {
+		view.Mask(u)
+	}
+	j.eng.SetGraph(j.g, view)
+	j.eng.RunPhase(j.eng.ComputeHandler())
+
+	// Phase 3 — re-insert every dirty vertex's new adjacency from the
+	// rolled-back state.
+	touched = touched[:0]
+	fetches = fetches[:0]
+	scanned, emitted = 0, 0
+	for _, u := range order {
+		j.st.VertexReads++
+		touched = append(touched, u)
+		state := j.eng.PeekVertex(u)
+		deg, wsum := ng.OutDegree(u), ng.OutWeightSum(u)
+		if deg == 0 {
+			continue
+		}
+		scanned += deg
+		fetches = append(fetches, engine.EdgeFetch{Offset: ng.EdgeOffset(u), Count: deg})
+		j.st.EdgeReads += uint64(deg)
+		ng.OutEdges(u, func(dst graph.VertexID, w graph.Weight) {
+			if val := j.alg.Propagate(u, state, w, deg, wsum); val != 0 {
+				emitted++
+				j.eng.Emit(event.New(dst, val))
+			}
+		})
+	}
+	j.eng.ChargeStreamRead(scanned)
+	j.eng.ChargeSetup(touched, fetches)
+
+	// Phase 4 — converge on the new graph.
+	j.eng.SetGraph(ng, nil)
+	j.eng.RunPhase(j.eng.ComputeHandler())
+}
+
+func sortVertexIDs(v []graph.VertexID) {
+	// Insertion sort is fine: dirty sets are batch-sized.
+	for i := 1; i < len(v); i++ {
+		for k := i; k > 0 && v[k-1] > v[k]; k-- {
+			v[k-1], v[k] = v[k], v[k-1]
+		}
+	}
+}
+
+// Repartition refreshes the slice assignment against the current graph
+// version (§4.7); call it between batches after the graph has drifted. It is
+// a no-op without slicing. Returns the new edge cut (or -1).
+func (j *JetStream) Repartition() int { return j.eng.Repartition() }
+
+// Verify recomputes the query from scratch on the current graph and returns
+// the maximum deviation from the streaming state — a runtime self-check used
+// by tests and the CLI's -verify flag.
+func (j *JetStream) Verify() float64 {
+	ref := algo.Reference(j.alg, j.g)
+	return algo.MaxAbsDiff(j.State(), ref)
+}
+
+// Tolerance returns an acceptable Verify bound: exact for selective kernels;
+// for accumulative kernels the suppressed sub-epsilon deltas accumulate with
+// the graph's edge count and the propagation gain 1/(1-damping) over the
+// batches applied so far.
+func Tolerance(a algo.Algorithm, edges, batches int) float64 {
+	if a.Class() == algo.Selective {
+		return 0
+	}
+	if batches < 1 {
+		batches = 1
+	}
+	return a.Epsilon() * 10 * float64(edges) * float64(batches)
+}

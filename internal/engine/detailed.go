@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"jetstream/internal/event"
+	"jetstream/internal/graph"
+	"jetstream/internal/mem"
+	"jetstream/internal/sim"
+	"jetstream/internal/stats"
+)
+
+// Detailed is the per-event pipeline cycle model: instead of bounding each
+// drain-round batch by aggregate throughputs, it walks every event through
+// the §4.6 dataflow with individually contended resources —
+//
+//	vertex prefetch (DRAM) → apply unit (one of 8 PEs) → edge fetch
+//	(per-PE cache / DRAM) → generation stream (one of 32) → crossbar
+//	output port (one of 16) → queue-bin coalescer (one of 16)
+//
+// — so hot spots the batch model averages away become visible: a hub whose
+// response floods one queue bin serializes on that bin's port, an unlucky
+// PE assignment stalls its FIFO, and so on. It implements CycleModel and is
+// selected with Config.DetailedTiming.
+type Detailed struct {
+	cfg Config
+	st  *stats.Counters
+
+	dram *mem.DRAM
+	ec   []*mem.Cache
+
+	pe    []sim.Resource // apply pipelines, one per processing engine
+	gen   []sim.Resource // generation streams (Processors * GenStreams)
+	xport []sim.Resource // crossbar output ports
+	bins  []sim.Resource // queue-bin coalescer pipelines
+
+	cycles   uint64
+	spillPtr uint64
+	batchSeq int
+
+	applyDone []uint64 // scratch, reused across batches
+	fetchDone []uint64
+}
+
+// Coalescer latency: reading the mapped slot, reducing, writing back (§4.2
+// describes a multi-cycle pipeline accepting one event per cycle).
+const coalesceLatency = 3
+
+// NewDetailed builds the per-event pipeline model for cfg.
+func NewDetailed(cfg Config, st *stats.Counters) *Detailed {
+	t := &Detailed{
+		cfg:  cfg,
+		st:   st,
+		dram: mem.NewDRAM(cfg.DRAM, st),
+	}
+	for i := 0; i < cfg.Processors; i++ {
+		t.ec = append(t.ec, mem.NewCache(cfg.EdgeCacheBytes, 2, 64))
+		t.pe = append(t.pe, sim.Resource{Interval: uint64(cfg.ApplyCycles)})
+	}
+	for i := 0; i < cfg.Processors*cfg.GenStreams; i++ {
+		t.gen = append(t.gen, sim.Resource{Interval: 1})
+	}
+	for i := 0; i < 16; i++ {
+		t.xport = append(t.xport, sim.Resource{Interval: 1})
+		t.bins = append(t.bins, sim.Resource{Interval: 1})
+	}
+	return t
+}
+
+// Cycles returns the accumulated cycle count.
+func (t *Detailed) Cycles() uint64 { return t.cycles }
+
+// Batch walks one row batch through the pipeline (see CycleModel.Batch).
+func (t *Detailed) Batch(touched []graph.VertexID, written int, fetches []EdgeFetch, genTargets []graph.VertexID) {
+	if len(touched) == 0 && len(fetches) == 0 && len(genTargets) == 0 {
+		return
+	}
+	start := t.cycles
+	end := start
+	vb := uint64(t.cfg.VertexBytes)
+	eb := uint64(t.cfg.EdgeBytes)
+
+	// Stage 1+2 — vertex prefetch and apply. The prefetcher issues one DRAM
+	// line read per distinct state line; each event's apply waits for its
+	// line and for its processing engine's pipeline slot (events in a row
+	// batch go to the same engine group, §4.3 — modeled as round-robin).
+	t.applyDone = t.applyDone[:0]
+	lastLine := ^uint64(0)
+	lineReady := start
+	for i, v := range touched {
+		addr := vertexBase + uint64(v)*vb
+		if line := addr / 64; line != lastLine {
+			lastLine = line
+			lineReady = t.dram.Access(start, addr)
+		}
+		peIdx := (t.batchSeq + i) % len(t.pe)
+		at := lineReady
+		if at < start {
+			at = start
+		}
+		done := t.pe[peIdx].Acquire(at) + uint64(t.cfg.ApplyCycles)
+		t.applyDone = append(t.applyDone, done)
+		if done > end {
+			end = done
+		}
+	}
+	// Dirty-line write-back trails the batch (write-combined).
+	wbLines := (written*int(vb) + 63) / 64
+	for i := 0; i < wbLines && len(touched) > 0; i++ {
+		addr := vertexBase + uint64(touched[0])*vb + uint64(i*64)
+		if done := t.dram.Access(start, addr); done > end {
+			end = done
+		}
+	}
+
+	// Stage 3+4 — edge fetch and generation. The j-th adjacency fetch is
+	// gated by the apply that produced it; the engine reports fetches in
+	// apply order, so map them proportionally onto the apply completions.
+	t.fetchDone = t.fetchDone[:0]
+	totalEdges := 0
+	for j, f := range fetches {
+		gate := start
+		if n := len(t.applyDone); n > 0 {
+			idx := j
+			if len(fetches) > 1 {
+				idx = j * (n - 1) / (len(fetches) - 1)
+			}
+			if idx >= n {
+				idx = n - 1
+			}
+			gate = t.applyDone[idx]
+		}
+		peIdx := (t.batchSeq + j) % len(t.ec)
+		edgesReady := gate
+		lo := edgeBase + f.Offset*eb
+		hi := lo + uint64(f.Count)*eb
+		for line := lo / 64; line <= (hi-1)/64 && f.Count > 0; line++ {
+			if !t.ec[peIdx].Access(line * 64) {
+				if done := t.dram.Access(gate, line*64); done > edgesReady {
+					edgesReady = done
+				}
+			}
+		}
+		stream := (t.batchSeq + j) % len(t.gen)
+		done := t.gen[stream].AcquireN(edgesReady, f.Count) + uint64(f.Count)
+		t.fetchDone = append(t.fetchDone, done)
+		totalEdges += f.Count
+		if done > end {
+			end = done
+		}
+	}
+	t.batchSeq++
+
+	// Stage 5+6 — crossbar routing and queue insertion. Each generated event
+	// crosses the 16x16 switch to its target's bin port and enters that
+	// bin's coalescer; both serialize per port. Event targets map to bins by
+	// vertex index (§4.2), so a hub response aimed at one page of vertices
+	// piles onto few bins — the contention this model resolves.
+	flits := uint64((event.Size(t.cfg.EventMode) + 7) / 8)
+	for k, tgt := range genTargets {
+		ready := start
+		if n := len(t.fetchDone); n > 0 {
+			idx := 0
+			if len(genTargets) > 1 {
+				idx = k * (n - 1) / (len(genTargets) - 1)
+			}
+			ready = t.fetchDone[idx]
+		} else if n := len(t.applyDone); n > 0 {
+			ready = t.applyDone[n-1]
+		}
+		bin := int(tgt) % 16
+		xDone := t.xport[bin].AcquireN(ready, int(flits)) + flits
+		insDone := t.bins[bin].Acquire(xDone) + coalesceLatency
+		if insDone > end {
+			end = insDone
+		}
+	}
+
+	if end > t.cycles {
+		t.cycles = end
+	}
+	t.st.BytesUsed += uint64(len(touched)+written)*vb + uint64(totalEdges)*eb
+}
+
+// RoundOverhead charges the scheduler's end-of-round synchronization.
+func (t *Detailed) RoundOverhead() {
+	t.cycles += uint64(t.cfg.RoundOverheadCycles)
+}
+
+// Spill charges an off-chip round trip of n event records.
+func (t *Detailed) Spill(n int) {
+	if n == 0 {
+		return
+	}
+	bytes := uint64(n * event.Size(t.cfg.EventMode))
+	start := t.cycles
+	memDone := start
+	for off := uint64(0); off < bytes; off += 64 {
+		if done := t.dram.Access(start, spillBase+(t.spillPtr+off)%(1<<28)); done > memDone {
+			memDone = done
+		}
+	}
+	t.spillPtr = (t.spillPtr + bytes) % (1 << 28)
+	t.st.SpillBytes += bytes
+	t.st.BytesUsed += bytes
+	t.cycles = memDone
+}
+
+// StreamRead charges the Stream Reader's sequential batch scan.
+func (t *Detailed) StreamRead(n int) {
+	if n == 0 {
+		return
+	}
+	const updBytes = 12
+	bytes := uint64(n * updBytes)
+	start := t.cycles
+	memDone := start
+	for off := uint64(0); off < bytes; off += 64 {
+		if done := t.dram.Access(start, spillBase+(1<<27)+off%(1<<26)); done > memDone {
+			memDone = done
+		}
+	}
+	t.st.BytesUsed += bytes
+	t.cycles = memDone
+}

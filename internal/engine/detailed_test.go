@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"testing"
+
+	"jetstream/internal/algo"
+	"jetstream/internal/graph"
+	"jetstream/internal/stats"
+)
+
+func detailedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Timing = true
+	cfg.DetailedTiming = true
+	return cfg
+}
+
+func TestDetailedProducesCyclesAndSameResults(t *testing.T) {
+	a := algo.NewSSSP(0)
+	g := graph.RMAT(graph.RMATConfig{Vertices: 400, Edges: 3000, Seed: 1})
+	det := New(g, a, detailedConfig(), nil)
+	det.RunToConvergence()
+	if det.Cycles() == 0 {
+		t.Fatal("detailed model produced zero cycles")
+	}
+	fast := New(g, a, testConfig(true), nil)
+	fast.RunToConvergence()
+	if d := algo.MaxAbsDiff(det.State(), fast.State()); d != 0 {
+		t.Errorf("timing mode changed results by %v", d)
+	}
+}
+
+func TestDetailedDeterministic(t *testing.T) {
+	a := algo.NewBFS(0)
+	g := graph.RMAT(graph.RMATConfig{Vertices: 300, Edges: 2400, Seed: 2})
+	run := func() uint64 {
+		e := New(g, a, detailedConfig(), nil)
+		e.RunToConvergence()
+		return e.Cycles()
+	}
+	if run() != run() {
+		t.Error("detailed cycles differ between identical runs")
+	}
+}
+
+func TestDetailedWithinFactorOfFast(t *testing.T) {
+	// The two fidelity levels model the same hardware; their totals must
+	// agree to within a small factor on a balanced workload.
+	a := algo.NewSSSP(0)
+	g := graph.RMAT(graph.RMATConfig{Vertices: 2000, Edges: 16000, Seed: 3})
+	det := New(g, a, detailedConfig(), nil)
+	det.RunToConvergence()
+	fast := New(g, a, testConfig(true), nil)
+	fast.RunToConvergence()
+	lo, hi := fast.Cycles()/4, fast.Cycles()*6
+	if det.Cycles() < lo || det.Cycles() > hi {
+		t.Errorf("detailed %d cycles vs fast %d: outside [%d, %d]", det.Cycles(), fast.Cycles(), lo, hi)
+	}
+}
+
+func TestDetailedResolvesBinContention(t *testing.T) {
+	// Drive the model directly: the same number of generated events aimed at
+	// one queue bin must take longer than events spread across all bins,
+	// because crossbar output ports and coalescer pipelines serialize.
+	mk := func(targets []graph.VertexID) uint64 {
+		d := NewDetailed(detailedConfig(), &stats.Counters{})
+		d.Batch([]graph.VertexID{0}, 1, []EdgeFetch{{Offset: 0, Count: len(targets)}}, targets)
+		return d.Cycles()
+	}
+	const n = 256
+	hot := make([]graph.VertexID, n)
+	for i := range hot {
+		hot[i] = 16 * graph.VertexID(i) // all map to bin 0
+	}
+	spread := make([]graph.VertexID, n)
+	for i := range spread {
+		spread[i] = graph.VertexID(i) // round-robin over the 16 bins
+	}
+	if h, s := mk(hot), mk(spread); h <= s {
+		t.Errorf("hot-bin batch (%d cycles) not slower than spread batch (%d)", h, s)
+	}
+}
+
+func TestDetailedApplyUnitContention(t *testing.T) {
+	// More events than engines must serialize on the apply pipelines.
+	small := NewDetailed(detailedConfig(), &stats.Counters{})
+	big := NewDetailed(detailedConfig(), &stats.Counters{})
+	few := make([]graph.VertexID, 8)
+	many := make([]graph.VertexID, 512)
+	for i := range few {
+		few[i] = graph.VertexID(i)
+	}
+	for i := range many {
+		many[i] = graph.VertexID(i)
+	}
+	small.Batch(few, 0, nil, nil)
+	big.Batch(many, 0, nil, nil)
+	if big.Cycles() <= small.Cycles() {
+		t.Errorf("512-event batch (%d) not slower than 8-event batch (%d)", big.Cycles(), small.Cycles())
+	}
+}
+
+func TestDetailedSpillAndStreamRead(t *testing.T) {
+	st := &stats.Counters{}
+	d := NewDetailed(detailedConfig(), st)
+	d.Spill(100)
+	if st.SpillBytes == 0 || d.Cycles() == 0 {
+		t.Error("spill not charged")
+	}
+	before := d.Cycles()
+	d.StreamRead(500)
+	if d.Cycles() <= before {
+		t.Error("stream read not charged")
+	}
+	d.RoundOverhead()
+	if d.Cycles() <= before {
+		t.Error("round overhead not charged")
+	}
+	// Empty operations are free.
+	c := d.Cycles()
+	d.Spill(0)
+	d.StreamRead(0)
+	d.Batch(nil, 0, nil, nil)
+	if d.Cycles() != c {
+		t.Error("empty operations charged cycles")
+	}
+}

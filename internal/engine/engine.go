@@ -1,0 +1,408 @@
+package engine
+
+import (
+	"math"
+
+	"jetstream/internal/algo"
+	"jetstream/internal/event"
+	"jetstream/internal/graph"
+	"jetstream/internal/queue"
+	"jetstream/internal/stats"
+)
+
+// GraphView is the engine's read interface to the active graph version. Both
+// *graph.CSR and *graph.View satisfy it; the latter is the "intermediate
+// graph" of accumulative deletion (paper Fig 5) where mutated vertices are
+// temporary sinks.
+type GraphView interface {
+	NumVertices() int
+	OutDegree(u graph.VertexID) int
+	OutWeightSum(u graph.VertexID) float64
+	OutEdges(u graph.VertexID, fn func(dst graph.VertexID, w graph.Weight))
+}
+
+// Handler processes one event during a phase. Handlers use the engine's
+// ReadVertex/WriteVertex/EmitAlongEdges helpers so that work counting and
+// timing see every access.
+type Handler func(ev event.Event)
+
+// Engine executes event-driven phases over a graph: the GraphPulse compute
+// loop plus the plumbing (queue, slicing, timing hooks) that JetStream's
+// streaming phases in internal/core reuse.
+type Engine struct {
+	cfg Config
+	alg algo.Algorithm
+
+	csr  *graph.CSR // backing CSR of the active view (for edge offsets)
+	view GraphView
+
+	state []float64
+	dep   []graph.VertexID // dependency field per vertex (DAP, §5.2); nil unless tracking
+
+	q  *queue.Coalescing
+	st *stats.Counters
+	tm CycleModel
+
+	part    *graph.Partition
+	active  int
+	pending [][]event.Event
+
+	// Per-row-batch recording for the timing layer.
+	batchTouched []graph.VertexID
+	batchWritten int
+	batchFetches []EdgeFetch
+	batchGenT    []graph.VertexID
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithDependencyTracking allocates the per-vertex dependency field used by
+// the DAP optimization.
+func WithDependencyTracking() Option {
+	return func(e *Engine) {
+		e.dep = make([]graph.VertexID, e.csr.NumVertices())
+		for i := range e.dep {
+			e.dep[i] = event.NoSource
+		}
+	}
+}
+
+// WithPartition slices the vertex space into k parts processed one at a
+// time, spilling cross-slice events off-chip (paper §4.7). k <= 1 disables
+// slicing.
+func WithPartition(k int) Option {
+	return func(e *Engine) {
+		if k <= 1 {
+			return
+		}
+		e.part = graph.PartitionGraph(e.csr, k)
+		e.pending = make([][]event.Event, k)
+	}
+}
+
+// New builds an engine over g running alg. The stats sink st may be nil.
+func New(g *graph.CSR, alg algo.Algorithm, cfg Config, st *stats.Counters, opts ...Option) *Engine {
+	if st == nil {
+		st = &stats.Counters{}
+	}
+	e := &Engine{
+		cfg:   cfg,
+		alg:   alg,
+		csr:   g,
+		view:  g,
+		state: make([]float64, g.NumVertices()),
+		st:    st,
+	}
+	e.q = queue.New(g.NumVertices(), cfg.Queue, queue.ReduceCoalesce(alg.Reduce), st)
+	if cfg.Timing {
+		if cfg.DetailedTiming {
+			e.tm = NewDetailed(cfg, st)
+		} else {
+			e.tm = NewTiming(cfg, st)
+		}
+	}
+	for i := range e.state {
+		e.state[i] = alg.Identity()
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Algorithm returns the running kernel.
+func (e *Engine) Algorithm() algo.Algorithm { return e.alg }
+
+// Stats returns the counter sink.
+func (e *Engine) Stats() *stats.Counters { return e.st }
+
+// Queue exposes the event queue to the streaming phases.
+func (e *Engine) Queue() *queue.Coalescing { return e.q }
+
+// Timing returns the cycle model (nil when timing is disabled).
+func (e *Engine) Timing() CycleModel { return e.tm }
+
+// CSR returns the CSR backing the active view.
+func (e *Engine) CSR() *graph.CSR { return e.csr }
+
+// State returns the live vertex-state slice (not a copy).
+func (e *Engine) State() []float64 { return e.state }
+
+// Dep returns the dependency fields (nil unless DAP tracking is on).
+func (e *Engine) Dep() []graph.VertexID { return e.dep }
+
+// Cycles returns accumulated cycles (0 with timing off).
+func (e *Engine) Cycles() uint64 {
+	if e.tm == nil {
+		return 0
+	}
+	return e.tm.Cycles()
+}
+
+// SetGraph switches the engine to a new graph version (the host's CSR
+// pointer swap, §4.7). Vertex count must be unchanged; vertex state is
+// retained — that is the whole point of streaming evaluation.
+func (e *Engine) SetGraph(csr *graph.CSR, view GraphView) {
+	if csr.NumVertices() != len(e.state) {
+		panic("engine: graph version changed vertex count")
+	}
+	e.csr = csr
+	if view == nil {
+		e.view = csr
+	} else {
+		e.view = view
+	}
+}
+
+// View returns the active graph view.
+func (e *Engine) View() GraphView { return e.view }
+
+// ReadVertex reads v's state through the scratchpad, counting the access.
+func (e *Engine) ReadVertex(v graph.VertexID) float64 {
+	e.st.VertexReads++
+	e.batchTouched = append(e.batchTouched, v)
+	return e.state[v]
+}
+
+// PeekVertex reads v's state without charging an access — for decisions the
+// hardware makes on data already in the event payload or scratchpad.
+func (e *Engine) PeekVertex(v graph.VertexID) float64 { return e.state[v] }
+
+// WriteVertex updates v's state, counting the write-back.
+func (e *Engine) WriteVertex(v graph.VertexID, x float64) {
+	e.st.VertexWrites++
+	e.batchWritten++
+	e.state[v] = x
+}
+
+// SetDep records v's dependency source (no-op unless tracking).
+func (e *Engine) SetDep(v, src graph.VertexID) {
+	if e.dep != nil {
+		e.dep[v] = src
+	}
+}
+
+// Emit inserts ev into the event queue, or spills it to the pending list of
+// its slice when slicing is active and ev targets an inactive slice.
+func (e *Engine) Emit(ev event.Event) {
+	e.st.EventsGenerated++
+	e.batchGenT = append(e.batchGenT, ev.Target)
+	if e.part != nil {
+		if s := e.part.SliceOf(ev.Target); s != e.active {
+			e.pending[s] = append(e.pending[s], ev)
+			return
+		}
+	}
+	e.q.Insert(ev)
+}
+
+// EmitAlongEdges walks u's out-adjacency in the active view, charging the
+// edge fetch, and emits the event mk returns for each edge (or none when mk
+// reports false). This is the generation-stream primitive all phases build
+// on.
+func (e *Engine) EmitAlongEdges(u graph.VertexID, mk func(dst graph.VertexID, w graph.Weight) (event.Event, bool)) {
+	deg := e.view.OutDegree(u)
+	if deg == 0 {
+		return
+	}
+	e.st.EdgeReads += uint64(deg)
+	e.batchFetches = append(e.batchFetches, EdgeFetch{Offset: e.csr.EdgeOffset(u), Count: deg})
+	e.view.OutEdges(u, func(dst graph.VertexID, w graph.Weight) {
+		if ev, ok := mk(dst, w); ok {
+			e.Emit(ev)
+		}
+	})
+}
+
+// PropagateValue sends x from u along every out-edge using the algorithm's
+// Propagate, tagging events with source u and the given flags. Accumulative
+// deltas below Epsilon are suppressed at generation (termination).
+func (e *Engine) PropagateValue(u graph.VertexID, x float64, flags event.Flags) {
+	deg := e.view.OutDegree(u)
+	wsum := e.view.OutWeightSum(u)
+	eps := e.alg.Epsilon()
+	acc := e.alg.Class() == algo.Accumulative
+	e.EmitAlongEdges(u, func(dst graph.VertexID, w graph.Weight) (event.Event, bool) {
+		val := e.alg.Propagate(u, x, w, deg, wsum)
+		if acc && math.Abs(val) <= eps {
+			return event.Event{}, false
+		}
+		return event.Event{Target: dst, Value: val, Source: u, Flags: flags}, true
+	})
+}
+
+// ComputeHandler returns the regular computation phase of Algorithm 1, with
+// JetStream's two extensions folded in: a vertex receiving a request-flagged
+// event propagates even when its state does not change (§3.5), and under
+// dependency tracking a state change records the contributing source (§5.2).
+func (e *Engine) ComputeHandler() Handler {
+	if e.alg.Class() == algo.Accumulative {
+		return func(ev event.Event) {
+			v := ev.Target
+			old := e.ReadVertex(v)
+			e.WriteVertex(v, e.alg.Reduce(old, ev.Value))
+			// Forward the (coalesced) incoming delta, transformed per edge.
+			e.PropagateValue(v, ev.Value, 0)
+		}
+	}
+	return func(ev event.Event) {
+		v := ev.Target
+		old := e.ReadVertex(v)
+		nw := e.alg.Reduce(old, ev.Value)
+		changed := nw != old
+		if changed {
+			e.WriteVertex(v, nw)
+			e.SetDep(v, ev.Source)
+		}
+		if changed || ev.IsRequest() {
+			e.PropagateValue(v, nw, 0)
+		}
+	}
+}
+
+// RunPhase drains the queue to empty under h, handling drain rounds, slice
+// swaps and timing. It is one scheduler phase (§4.3).
+func (e *Engine) RunPhase(h Handler) {
+	e.st.Phases++
+	for {
+		for !e.q.Empty() {
+			e.q.DrainRound(func(batch []event.Event) {
+				e.batchTouched = e.batchTouched[:0]
+				e.batchWritten = 0
+				e.batchFetches = e.batchFetches[:0]
+				e.batchGenT = e.batchGenT[:0]
+				for _, ev := range batch {
+					e.st.EventsProcessed++
+					h(ev)
+				}
+				if e.tm != nil {
+					e.tm.Batch(e.batchTouched, e.batchWritten, e.batchFetches, e.batchGenT)
+				}
+			})
+			if e.tm != nil {
+				e.tm.RoundOverhead()
+			}
+		}
+		if !e.loadNextSlice() {
+			return
+		}
+	}
+}
+
+// loadNextSlice swaps in the next slice with pending cross-slice events,
+// charging the off-chip spill traffic. Returns false when nothing is
+// pending anywhere.
+func (e *Engine) loadNextSlice() bool {
+	if e.part == nil {
+		return false
+	}
+	for i := 1; i <= e.part.K; i++ {
+		s := (e.active + i) % e.part.K
+		if len(e.pending[s]) == 0 {
+			continue
+		}
+		evs := e.pending[s]
+		e.pending[s] = nil
+		e.active = s
+		if e.tm != nil {
+			e.tm.Spill(2 * len(evs)) // written at emit time, read back now
+		}
+		for _, ev := range evs {
+			e.q.Insert(ev)
+		}
+		return true
+	}
+	return false
+}
+
+// ChargeSetup charges phase-setup work performed outside a drain round (the
+// Stream Reader and Impact Buffer activity between phases, §4.5). touched
+// lists vertex states read and fetches lists adjacency ranges scanned; the
+// events emitted since the last charge are taken from the engine's own
+// recording.
+func (e *Engine) ChargeSetup(touched []graph.VertexID, fetches []EdgeFetch) {
+	if e.tm != nil {
+		e.tm.Batch(touched, 0, fetches, e.batchGenT)
+	}
+	e.batchGenT = e.batchGenT[:0]
+}
+
+// ChargeStreamRead charges the Stream Reader's sequential scan of n edge
+// updates from the host-written batch in memory.
+func (e *Engine) ChargeStreamRead(n int) {
+	if e.tm != nil {
+		e.tm.StreamRead(n)
+	}
+}
+
+// ChargeSpill charges an off-chip round trip of n event records (the Impact
+// Buffer writing its list out and reading it back, §4.5).
+func (e *Engine) ChargeSpill(n int) {
+	if e.tm != nil {
+		e.tm.Spill(n)
+	}
+}
+
+// Repartition recomputes the slice assignment against the current graph
+// version. §4.7: "the partitions may not remain optimal as the graph
+// continues to evolve. To reduce the fraction of edge-cuts, we can
+// periodically re-partition the graphs... without affecting the JetStream
+// workflow." It must be called between phases (no pending cross-slice
+// events); it returns the new edge cut, or -1 when slicing is off.
+func (e *Engine) Repartition() int {
+	if e.part == nil {
+		return -1
+	}
+	for s := range e.pending {
+		if len(e.pending[s]) != 0 {
+			panic("engine: Repartition with pending cross-slice events")
+		}
+	}
+	e.part = graph.PartitionGraph(e.csr, e.part.K)
+	e.active = 0
+	return e.part.Cut
+}
+
+// EdgeCut returns the current partition's cross-slice edge count (-1 when
+// slicing is off).
+func (e *Engine) EdgeCut() int {
+	if e.part == nil {
+		return -1
+	}
+	return e.part.Cut
+}
+
+// SeedInitialEvents loads the algorithm's initial events through the
+// Initializer (step 0 of §4.6.1), charging the sequential memory scan.
+func (e *Engine) SeedInitialEvents() {
+	evs := e.alg.InitialEvents(e.csr)
+	if e.tm != nil {
+		e.tm.StreamRead(len(evs))
+	}
+	for _, ev := range evs {
+		e.Emit(ev)
+	}
+}
+
+// ResetState returns every vertex to Identity and clears dependencies; used
+// for cold starts.
+func (e *Engine) ResetState() {
+	for i := range e.state {
+		e.state[i] = e.alg.Identity()
+	}
+	for i := range e.dep {
+		e.dep[i] = event.NoSource
+	}
+}
+
+// RunToConvergence performs a full static evaluation from scratch — the
+// GraphPulse baseline (and JetStream's initial evaluation).
+func (e *Engine) RunToConvergence() {
+	e.ResetState()
+	e.SeedInitialEvents()
+	e.RunPhase(e.ComputeHandler())
+}

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"testing"
+
+	"jetstream/internal/graph"
+	"jetstream/internal/stats"
+)
+
+func fastModel() (*Timing, *stats.Counters) {
+	st := &stats.Counters{}
+	cfg := DefaultConfig()
+	return NewTiming(cfg, st), st
+}
+
+func seq(n int, stride graph.VertexID) []graph.VertexID {
+	out := make([]graph.VertexID, n)
+	for i := range out {
+		out[i] = graph.VertexID(i) * stride
+	}
+	return out
+}
+
+func TestTimingEmptyBatchFree(t *testing.T) {
+	tm, _ := fastModel()
+	tm.Batch(nil, 0, nil, nil)
+	if tm.Cycles() != 0 {
+		t.Errorf("empty batch cost %d cycles", tm.Cycles())
+	}
+}
+
+func TestTimingChargesBatch(t *testing.T) {
+	tm, st := fastModel()
+	tm.Batch(seq(64, 1), 32, []EdgeFetch{{Offset: 0, Count: 100}}, seq(100, 1))
+	if tm.Cycles() == 0 {
+		t.Fatal("batch cost nothing")
+	}
+	if st.BytesTransferred == 0 || st.BytesUsed == 0 {
+		t.Error("no traffic accounted")
+	}
+	if st.BytesUsed > st.BytesTransferred {
+		t.Errorf("used %d > transferred %d", st.BytesUsed, st.BytesTransferred)
+	}
+}
+
+func TestTimingSpatialLocalityMatters(t *testing.T) {
+	// Dense, page-local vertex batches (what row-ordered draining produces)
+	// must be cheaper per event than scattered ones: they share DRAM lines.
+	dense, _ := fastModel()
+	scattered, _ := fastModel()
+	n := 512
+	dense.Batch(seq(n, 1), 0, nil, nil)       // 8 vertices per 64B line
+	scattered.Batch(seq(n, 997), 0, nil, nil) // one line each
+	if dense.Cycles() >= scattered.Cycles() {
+		t.Errorf("dense batch (%d cycles) not cheaper than scattered (%d)", dense.Cycles(), scattered.Cycles())
+	}
+}
+
+func TestTimingEdgeCacheHelps(t *testing.T) {
+	// Re-fetching the same adjacency must be cheaper than fetching fresh
+	// ones: the per-PE edge cache absorbs the lines.
+	tm, _ := fastModel()
+	f := []EdgeFetch{{Offset: 0, Count: 8}}
+	tm.Batch(seq(1, 1), 0, f, nil)
+	cold := tm.Cycles()
+	tm.Batch(seq(1, 1), 0, f, nil)
+	warmDelta := tm.Cycles() - cold
+	tm2, _ := fastModel()
+	tm2.Batch(seq(1, 1), 0, []EdgeFetch{{Offset: 1 << 16, Count: 8}}, nil)
+	tm2.Batch(seq(1, 1), 0, []EdgeFetch{{Offset: 1 << 18, Count: 8}}, nil)
+	coldDelta := tm2.Cycles() - 0
+	if warmDelta >= coldDelta {
+		t.Errorf("warm refetch (%d cycles) not cheaper than cold fetches (%d)", warmDelta, coldDelta)
+	}
+}
+
+func TestTimingSpillAndStreamRead(t *testing.T) {
+	tm, st := fastModel()
+	tm.Spill(0)
+	tm.StreamRead(0)
+	if tm.Cycles() != 0 {
+		t.Error("zero-length transfers charged")
+	}
+	tm.Spill(128)
+	if st.SpillBytes == 0 || tm.Cycles() == 0 {
+		t.Error("spill not charged")
+	}
+	c := tm.Cycles()
+	tm.StreamRead(1000)
+	if tm.Cycles() <= c {
+		t.Error("stream read not charged")
+	}
+	c = tm.Cycles()
+	tm.RoundOverhead()
+	if tm.Cycles() != c+uint64(DefaultConfig().RoundOverheadCycles) {
+		t.Error("round overhead wrong")
+	}
+}
+
+func TestTimingMoreEventsCostMore(t *testing.T) {
+	small, _ := fastModel()
+	big, _ := fastModel()
+	small.Batch(seq(32, 1), 0, []EdgeFetch{{Count: 64}}, seq(64, 1))
+	big.Batch(seq(512, 1), 0, []EdgeFetch{{Count: 4096}}, seq(4096, 1))
+	if big.Cycles() <= small.Cycles() {
+		t.Errorf("16x work (%d cycles) not costlier than base (%d)", big.Cycles(), small.Cycles())
+	}
+}
+
+func TestTimingMonotoneAcrossBatches(t *testing.T) {
+	tm, _ := fastModel()
+	var last uint64
+	for i := 0; i < 10; i++ {
+		tm.Batch(seq(16, 1), 4, []EdgeFetch{{Offset: uint64(i * 100), Count: 20}}, seq(20, 3))
+		if tm.Cycles() < last {
+			t.Fatalf("cycles went backwards at batch %d", i)
+		}
+		last = tm.Cycles()
+	}
+}

@@ -1,0 +1,97 @@
+// Package event defines the lightweight messages that drive all computation
+// in the GraphPulse/JetStream model. An event carries a contribution (delta)
+// to a target vertex; JetStream extends the payload with flag bits for its
+// delete and reapproximation-request mechanisms (paper §4.2) and, under the
+// DAP optimization, with the id of the contributing source vertex (§5.2).
+package event
+
+import (
+	"fmt"
+	"math"
+
+	"jetstream/internal/graph"
+)
+
+// Flags mark the special event kinds JetStream adds to GraphPulse.
+type Flags uint8
+
+const (
+	// FlagDelete marks a delete-propagation event used during the recovery
+	// phase of selective algorithms (Algorithm 4). Two delete events to the
+	// same vertex may be coalesced: tagging a vertex once suffices.
+	FlagDelete Flags = 1 << iota
+	// FlagRequest marks a reapproximation request: the receiving vertex must
+	// propagate its state to its out-neighbors even if its own state does not
+	// change (Algorithm 4, Reapproximate). The payload is Identity so it
+	// cannot perturb coalesced values.
+	FlagRequest
+)
+
+// NoSource is the Source value of events that carry no dependency
+// information (all events outside DAP mode).
+const NoSource = graph.VertexID(math.MaxUint32)
+
+// Event is the unit of work. Size on the wire depends on the engine mode —
+// see Size.
+type Event struct {
+	Target graph.VertexID
+	Value  float64
+	Source graph.VertexID // contributing vertex under DAP; NoSource otherwise
+	Flags  Flags
+}
+
+// New returns a plain value-carrying event.
+func New(target graph.VertexID, value float64) Event {
+	return Event{Target: target, Value: value, Source: NoSource}
+}
+
+// IsDelete reports whether the delete flag is set.
+func (e Event) IsDelete() bool { return e.Flags&FlagDelete != 0 }
+
+// IsRequest reports whether the request flag is set.
+func (e Event) IsRequest() bool { return e.Flags&FlagRequest != 0 }
+
+func (e Event) String() string {
+	s := fmt.Sprintf("ev{->%d val=%g", e.Target, e.Value)
+	if e.Source != NoSource {
+		s += fmt.Sprintf(" src=%d", e.Source)
+	}
+	if e.IsDelete() {
+		s += " DEL"
+	}
+	if e.IsRequest() {
+		s += " REQ"
+	}
+	return s + "}"
+}
+
+// Mode selects the payload layout, which determines the on-chip footprint of
+// each queue slot (the paper notes JetStream's larger events reduce how many
+// vertices fit per slice, §4.2/§6.1).
+type Mode int
+
+const (
+	// ModeGraphPulse is the baseline: target id + value.
+	ModeGraphPulse Mode = iota
+	// ModeJetStream adds the flag bits (delete/request).
+	ModeJetStream
+	// ModeJetStreamDAP additionally carries the source vertex id.
+	ModeJetStreamDAP
+)
+
+// Size returns the event size in bytes for the given mode. The baseline
+// GraphPulse event is a (vertexID, payload) tuple = 8 bytes; JetStream packs
+// flags into one more byte (padded to 9 in our accounting); DAP adds a 4-byte
+// source id.
+func Size(m Mode) int {
+	switch m {
+	case ModeGraphPulse:
+		return 8
+	case ModeJetStream:
+		return 9
+	case ModeJetStreamDAP:
+		return 13
+	default:
+		panic(fmt.Sprintf("event: unknown mode %d", m))
+	}
+}

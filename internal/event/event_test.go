@@ -1,0 +1,75 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNew(t *testing.T) {
+	e := New(7, 3.5)
+	if e.Target != 7 || e.Value != 3.5 {
+		t.Errorf("New = %+v", e)
+	}
+	if e.Source != NoSource {
+		t.Error("New must leave Source unset")
+	}
+	if e.Flags != 0 {
+		t.Error("New must leave Flags clear")
+	}
+}
+
+func TestFlags(t *testing.T) {
+	var e Event
+	if e.IsDelete() || e.IsRequest() {
+		t.Error("zero event has flags set")
+	}
+	e.Flags = FlagDelete
+	if !e.IsDelete() || e.IsRequest() {
+		t.Error("delete flag wrong")
+	}
+	e.Flags = FlagRequest
+	if e.IsDelete() || !e.IsRequest() {
+		t.Error("request flag wrong")
+	}
+	e.Flags = FlagDelete | FlagRequest
+	if !e.IsDelete() || !e.IsRequest() {
+		t.Error("combined flags wrong")
+	}
+}
+
+func TestString(t *testing.T) {
+	e := Event{Target: 3, Value: 1.5, Source: 9, Flags: FlagDelete | FlagRequest}
+	s := e.String()
+	for _, want := range []string{"->3", "1.5", "src=9", "DEL", "REQ"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	plain := New(3, 1.5).String()
+	if strings.Contains(plain, "src=") || strings.Contains(plain, "DEL") {
+		t.Errorf("plain event renders extras: %q", plain)
+	}
+}
+
+func TestSizeOrdering(t *testing.T) {
+	gp, js, dap := Size(ModeGraphPulse), Size(ModeJetStream), Size(ModeJetStreamDAP)
+	if gp != 8 {
+		t.Errorf("GraphPulse event size %d, want 8 (paper: vertex id + payload)", gp)
+	}
+	if !(gp < js && js < dap) {
+		t.Errorf("sizes must grow: %d %d %d", gp, js, dap)
+	}
+	// The DAP payload adds a 4-byte source id over the JetStream event.
+	if dap-js != 4 {
+		t.Errorf("DAP adds %d bytes, want 4", dap-js)
+	}
+}
+
+func TestSizePanicsOnUnknownMode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Size(Mode(99))
+}

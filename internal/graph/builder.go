@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Build constructs a CSR over n vertices from an edge list. Duplicate (src,
+// dst) pairs are an error: the streaming model treats the pair as the edge's
+// identity (a weight change is a delete followed by an insert, paper §2.1).
+// Self-loops are permitted; endpoints must be < n.
+func Build(n int, edges []Edge) (*CSR, error) {
+	for _, e := range edges {
+		if int(e.Src) >= n || int(e.Dst) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range for %d vertices", e.Src, e.Dst, n)
+		}
+	}
+	es := append([]Edge(nil), edges...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Src != es[j].Src {
+			return es[i].Src < es[j].Src
+		}
+		return es[i].Dst < es[j].Dst
+	})
+	for i := 1; i < len(es); i++ {
+		if es[i].Src == es[i-1].Src && es[i].Dst == es[i-1].Dst {
+			return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", es[i].Src, es[i].Dst)
+		}
+	}
+	return buildSorted(n, es), nil
+}
+
+// MustBuild is Build for known-good inputs (generators, tests).
+func MustBuild(n int, edges []Edge) *CSR {
+	g, err := Build(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// buildSorted builds from edges already sorted by (src, dst) and deduplicated.
+func buildSorted(n int, es []Edge) *CSR {
+	g := &CSR{
+		n:            n,
+		outPtr:       make([]uint64, n+1),
+		outDst:       make([]VertexID, len(es)),
+		outW:         make([]Weight, len(es)),
+		inPtr:        make([]uint64, n+1),
+		inSrc:        make([]VertexID, len(es)),
+		inW:          make([]Weight, len(es)),
+		outWeightSum: make([]float64, n),
+	}
+	for _, e := range es {
+		g.outPtr[e.Src+1]++
+		g.inPtr[e.Dst+1]++
+		g.outWeightSum[e.Src] += e.Weight
+	}
+	for v := 0; v < n; v++ {
+		g.outPtr[v+1] += g.outPtr[v]
+		g.inPtr[v+1] += g.inPtr[v]
+	}
+	for i, e := range es {
+		g.outDst[i] = e.Dst
+		g.outW[i] = e.Weight
+	}
+	// Fill the in-index with a counting pass; a per-vertex cursor tracks the
+	// next free slot. Sources arrive in sorted order because es is sorted by
+	// src, so each in-adjacency ends up sorted by source automatically.
+	cursor := make([]uint64, n)
+	copy(cursor, g.inPtr[:n])
+	for _, e := range es {
+		i := cursor[e.Dst]
+		g.inSrc[i] = e.Src
+		g.inW[i] = e.Weight
+		cursor[e.Dst]++
+	}
+	return g
+}
+
+// Symmetrize returns a graph with every edge mirrored (u,v) and (v,u) with
+// the same weight. Connected Components interprets the graph as undirected;
+// the engines propagate along out-edges only, so CC workloads are symmetrized
+// first. Existing reverse edges keep their weight.
+func Symmetrize(g *CSR) *CSR {
+	type key struct{ u, v VertexID }
+	set := make(map[key]Weight, g.NumEdges()*2)
+	for _, e := range g.Edges() {
+		set[key{e.Src, e.Dst}] = e.Weight
+	}
+	for _, e := range g.Edges() {
+		if _, ok := set[key{e.Dst, e.Src}]; !ok {
+			set[key{e.Dst, e.Src}] = e.Weight
+		}
+	}
+	es := make([]Edge, 0, len(set))
+	for k, w := range set {
+		es = append(es, Edge{k.u, k.v, w})
+	}
+	return MustBuild(g.NumVertices(), es)
+}
+
+// SymmetrizeEdges mirrors a raw edge list without building a CSR; the
+// streaming layer uses it to keep update batches consistent with a
+// symmetrized base graph.
+func SymmetrizeEdges(edges []Edge) []Edge {
+	type key struct{ u, v VertexID }
+	set := make(map[key]Weight, len(edges)*2)
+	for _, e := range edges {
+		set[key{e.Src, e.Dst}] = e.Weight
+	}
+	for _, e := range edges {
+		if _, ok := set[key{e.Dst, e.Src}]; !ok {
+			set[key{e.Dst, e.Src}] = e.Weight
+		}
+	}
+	out := make([]Edge, 0, len(set))
+	for k, w := range set {
+		out = append(out, Edge{k.u, k.v, w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}

@@ -1,0 +1,216 @@
+// Package graph provides the graph substrate JetStream operates on: a
+// Compressed Sparse Row representation with both out- and in-edge indexes
+// (the paper's §4.7 storage format), batch mutation producing a new CSR
+// version (host-side graph versioning), synthetic workload generators that
+// stand in for the paper's five real-world datasets, and an edge-cut
+// partitioner used to slice graphs that exceed the on-chip queue capacity.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// VertexID identifies a vertex. The accelerator's event payloads carry
+// 32-bit vertex ids, so the substrate uses the same width.
+type VertexID = uint32
+
+// Weight is an edge attribute. Selection algorithms interpret it as a
+// distance/width; accumulative algorithms as a transition weight.
+type Weight = float64
+
+// Edge is a directed, weighted edge.
+type Edge struct {
+	Src, Dst VertexID
+	Weight   Weight
+}
+
+// CSR is an immutable compressed-sparse-row graph with both directions
+// indexed. JetStream requires the in-edge index for reapproximation request
+// events (paper §4.7: "JetStream requires access to the incoming edges for
+// each vertex, which are stored in another CSR structure").
+type CSR struct {
+	n int
+
+	outPtr []uint64
+	outDst []VertexID
+	outW   []Weight
+
+	inPtr []uint64
+	inSrc []VertexID
+	inW   []Weight
+
+	// outWeightSum caches the total outgoing edge weight per vertex;
+	// Adsorption normalizes propagation by it.
+	outWeightSum []float64
+}
+
+// NumVertices returns the vertex count.
+func (g *CSR) NumVertices() int { return g.n }
+
+// NumEdges returns the directed edge count.
+func (g *CSR) NumEdges() int { return len(g.outDst) }
+
+// OutDegree returns the number of outgoing edges of v.
+func (g *CSR) OutDegree(v VertexID) int {
+	return int(g.outPtr[v+1] - g.outPtr[v])
+}
+
+// InDegree returns the number of incoming edges of v.
+func (g *CSR) InDegree(v VertexID) int {
+	return int(g.inPtr[v+1] - g.inPtr[v])
+}
+
+// OutWeightSum returns the sum of weights on v's outgoing edges.
+func (g *CSR) OutWeightSum(v VertexID) float64 { return g.outWeightSum[v] }
+
+// Neighbor is one endpoint+weight pair of an adjacency list.
+type Neighbor struct {
+	V VertexID
+	W Weight
+}
+
+// OutEdges calls fn for every outgoing edge of u. It avoids allocation so the
+// engines can use it on hot paths.
+func (g *CSR) OutEdges(u VertexID, fn func(dst VertexID, w Weight)) {
+	for i := g.outPtr[u]; i < g.outPtr[u+1]; i++ {
+		fn(g.outDst[i], g.outW[i])
+	}
+}
+
+// InEdges calls fn for every incoming edge of v.
+func (g *CSR) InEdges(v VertexID, fn func(src VertexID, w Weight)) {
+	for i := g.inPtr[v]; i < g.inPtr[v+1]; i++ {
+		fn(g.inSrc[i], g.inW[i])
+	}
+}
+
+// OutNeighbors returns a copy of u's out-adjacency; convenience for tests.
+func (g *CSR) OutNeighbors(u VertexID) []Neighbor {
+	out := make([]Neighbor, 0, g.OutDegree(u))
+	g.OutEdges(u, func(dst VertexID, w Weight) { out = append(out, Neighbor{dst, w}) })
+	return out
+}
+
+// InNeighbors returns a copy of v's in-adjacency.
+func (g *CSR) InNeighbors(v VertexID) []Neighbor {
+	out := make([]Neighbor, 0, g.InDegree(v))
+	g.InEdges(v, func(src VertexID, w Weight) { out = append(out, Neighbor{src, w}) })
+	return out
+}
+
+// HasEdge reports whether edge (u,v) exists and, if so, its weight. Out
+// adjacencies are sorted by destination so this is a binary search.
+func (g *CSR) HasEdge(u, v VertexID) (Weight, bool) {
+	lo, hi := g.outPtr[u], g.outPtr[u+1]
+	dst := g.outDst[lo:hi]
+	i := sort.Search(len(dst), func(i int) bool { return dst[i] >= v })
+	if i < len(dst) && dst[i] == v {
+		return g.outW[lo+uint64(i)], true
+	}
+	return 0, false
+}
+
+// EdgeAt returns the i-th edge in (src, dst) order without materializing the
+// whole edge list; the update-stream generator samples edges with it.
+func (g *CSR) EdgeAt(i int) Edge {
+	if i < 0 || i >= len(g.outDst) {
+		panic(fmt.Sprintf("graph: EdgeAt(%d) out of range", i))
+	}
+	// Find the source: the last vertex whose adjacency starts at or before i.
+	u := sort.Search(g.n, func(v int) bool { return g.outPtr[v+1] > uint64(i) })
+	return Edge{VertexID(u), g.outDst[i], g.outW[i]}
+}
+
+// Edges returns all edges in (src, dst) order; used by tests and mutation.
+func (g *CSR) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for u := 0; u < g.n; u++ {
+		for i := g.outPtr[u]; i < g.outPtr[u+1]; i++ {
+			out = append(out, Edge{VertexID(u), g.outDst[i], g.outW[i]})
+		}
+	}
+	return out
+}
+
+// EdgeOffset returns the index of u's adjacency in the flat edge arrays;
+// the timing layer uses it to compute edge-cache addresses.
+func (g *CSR) EdgeOffset(u VertexID) uint64 { return g.outPtr[u] }
+
+// InEdgeOffset returns the index of v's in-adjacency in the flat in-edge
+// arrays; the reapproximation phase charges its reads against a region
+// placed after the out-edge array.
+func (g *CSR) InEdgeOffset(v VertexID) uint64 { return g.inPtr[v] }
+
+// String summarizes the graph.
+func (g *CSR) String() string {
+	return fmt.Sprintf("CSR{V=%d, E=%d}", g.n, g.NumEdges())
+}
+
+// Validate checks structural invariants: monotone pointers, in/out edge sets
+// mirror each other, adjacencies sorted, and no out-of-range endpoints.
+// Tests call it after every build and mutation.
+func (g *CSR) Validate() error {
+	if len(g.outPtr) != g.n+1 || len(g.inPtr) != g.n+1 {
+		return fmt.Errorf("graph: pointer array length mismatch")
+	}
+	if g.outPtr[0] != 0 || g.inPtr[0] != 0 {
+		return fmt.Errorf("graph: pointer arrays must start at 0")
+	}
+	if g.outPtr[g.n] != uint64(len(g.outDst)) || g.inPtr[g.n] != uint64(len(g.inSrc)) {
+		return fmt.Errorf("graph: pointer arrays must end at edge count")
+	}
+	for v := 0; v < g.n; v++ {
+		if g.outPtr[v] > g.outPtr[v+1] || g.inPtr[v] > g.inPtr[v+1] {
+			return fmt.Errorf("graph: non-monotone pointers at vertex %d", v)
+		}
+		for i := g.outPtr[v] + 1; i < g.outPtr[v+1]; i++ {
+			if g.outDst[i-1] >= g.outDst[i] {
+				return fmt.Errorf("graph: out adjacency of %d not strictly sorted", v)
+			}
+		}
+		for i := g.inPtr[v] + 1; i < g.inPtr[v+1]; i++ {
+			if g.inSrc[i-1] >= g.inSrc[i] {
+				return fmt.Errorf("graph: in adjacency of %d not strictly sorted", v)
+			}
+		}
+	}
+	// Mirror check: every out edge must appear as an in edge and vice versa.
+	type key struct{ u, v VertexID }
+	seen := make(map[key]Weight, len(g.outDst))
+	for u := 0; u < g.n; u++ {
+		for i := g.outPtr[u]; i < g.outPtr[u+1]; i++ {
+			if int(g.outDst[i]) >= g.n {
+				return fmt.Errorf("graph: edge (%d,%d) out of range", u, g.outDst[i])
+			}
+			seen[key{VertexID(u), g.outDst[i]}] = g.outW[i]
+		}
+	}
+	count := 0
+	for v := 0; v < g.n; v++ {
+		for i := g.inPtr[v]; i < g.inPtr[v+1]; i++ {
+			w, ok := seen[key{g.inSrc[i], VertexID(v)}]
+			if !ok {
+				return fmt.Errorf("graph: in edge (%d,%d) has no out mirror", g.inSrc[i], v)
+			}
+			if w != g.inW[i] {
+				return fmt.Errorf("graph: weight mismatch on edge (%d,%d)", g.inSrc[i], v)
+			}
+			count++
+		}
+	}
+	if count != len(g.outDst) {
+		return fmt.Errorf("graph: in edge count %d != out edge count %d", count, len(g.outDst))
+	}
+	for v := 0; v < g.n; v++ {
+		var sum float64
+		for i := g.outPtr[v]; i < g.outPtr[v+1]; i++ {
+			sum += g.outW[i]
+		}
+		if math.Abs(sum-g.outWeightSum[v]) > 1e-9 {
+			return fmt.Errorf("graph: stale outWeightSum at vertex %d", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList hardens the text loader: arbitrary input must either
+// parse into a valid CSR or return an error — never panic, never produce a
+// structure that fails validation.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2 3.5\n# comment\n\n2 0 1\n")
+	f.Add("bad line\n")
+	f.Add("0 0 0\n")
+	f.Add("4294967295 0\n")
+	f.Add("1 2 NaN\n")
+	f.Add("0 1\n0 1\n") // duplicate edge
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input), 0)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted input produced invalid CSR: %v\ninput: %q", err, input)
+		}
+	})
+}
+
+// FuzzApplyBatch hardens version construction: arbitrary batches against a
+// fixed graph must either apply into a valid CSR or be rejected.
+func FuzzApplyBatch(f *testing.F) {
+	f.Add(uint16(0), uint16(1), 1.5, uint16(2), uint16(3))
+	f.Add(uint16(9), uint16(9), -1.0, uint16(0), uint16(0))
+	f.Fuzz(func(t *testing.T, iu, iv uint16, w float64, du, dv uint16) {
+		g := MustBuild(16, []Edge{
+			{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 2},
+			{Src: 2, Dst: 3, Weight: 3}, {Src: 3, Dst: 0, Weight: 4},
+		})
+		b := Batch{
+			Inserts: []Edge{{Src: VertexID(iu), Dst: VertexID(iv), Weight: w}},
+			Deletes: []Edge{{Src: VertexID(du), Dst: VertexID(dv), Weight: 0}},
+		}
+		ng, err := g.Apply(b)
+		if err != nil {
+			return
+		}
+		if err := ng.Validate(); err != nil {
+			t.Fatalf("accepted batch produced invalid CSR: %v\nbatch: %+v", err, b)
+		}
+	})
+}

@@ -1,0 +1,257 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The paper evaluates on five real-world graphs (Table 2). They are not
+// redistributable here, so each is replaced by a synthetic generator that
+// reproduces its topology class at laptop scale:
+//
+//	WK, UK — "narrow graphs with long paths" (web crawls): layered DAG-like
+//	         graphs with strong forward locality and occasional long-range
+//	         links, giving large diameters.
+//	FB, LJ, TW — "large, highly connected networks" (social): RMAT power-law
+//	         graphs with heavy-tailed degree distributions and small diameter.
+//
+// All generators are deterministic for a given seed.
+
+// RMATConfig parameterizes an R-MAT recursive-matrix generator.
+type RMATConfig struct {
+	Vertices  int
+	Edges     int
+	A, B, C   float64 // quadrant probabilities; D = 1-A-B-C
+	MaxWeight float64 // weights drawn uniformly from [1, MaxWeight]
+	Seed      int64
+}
+
+// RMAT generates a power-law graph in the style of the social-network
+// datasets. Duplicate picks are rejected so exactly cfg.Edges distinct
+// edges result (or as many as fit).
+func RMAT(cfg RMATConfig) *CSR {
+	if cfg.A == 0 && cfg.B == 0 && cfg.C == 0 {
+		cfg.A, cfg.B, cfg.C = 0.57, 0.19, 0.19
+	}
+	if cfg.MaxWeight <= 0 {
+		cfg.MaxWeight = 64
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	scale := 0
+	for 1<<scale < cfg.Vertices {
+		scale++
+	}
+	n := cfg.Vertices
+	type key struct{ u, v VertexID }
+	seen := make(map[key]bool, cfg.Edges)
+	es := make([]Edge, 0, cfg.Edges)
+	attempts := 0
+	for len(es) < cfg.Edges && attempts < cfg.Edges*64 {
+		attempts++
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < cfg.A: // upper-left
+			case r < cfg.A+cfg.B:
+				v |= 1 << bit
+			case r < cfg.A+cfg.B+cfg.C:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u >= n || v >= n || u == v {
+			continue
+		}
+		k := key{VertexID(u), VertexID(v)}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		es = append(es, Edge{k.u, k.v, 1 + rng.Float64()*(cfg.MaxWeight-1)})
+	}
+	return MustBuild(n, es)
+}
+
+// WebCrawlConfig parameterizes the narrow long-path generator.
+type WebCrawlConfig struct {
+	Vertices  int
+	AvgDegree float64
+	Locality  int // max forward hop for local links; controls diameter
+	LongRange float64
+	MaxWeight float64
+	Seed      int64
+}
+
+// WebCrawl generates a web-crawl-like graph: vertices are ordered (crawl
+// order); most edges point a short distance forward (site-local links)
+// producing long shortest-path chains; a small fraction are long-range.
+func WebCrawl(cfg WebCrawlConfig) *CSR {
+	if cfg.Locality <= 0 {
+		cfg.Locality = 8
+	}
+	if cfg.LongRange <= 0 {
+		cfg.LongRange = 0.05
+	}
+	if cfg.MaxWeight <= 0 {
+		cfg.MaxWeight = 64
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Vertices
+	type key struct{ u, v VertexID }
+	seen := make(map[key]bool)
+	es := make([]Edge, 0, int(float64(n)*cfg.AvgDegree))
+	// Backbone: a path through all vertices guarantees the long-diameter
+	// structure the paper attributes to WK and UK.
+	for u := 0; u+1 < n; u++ {
+		k := key{VertexID(u), VertexID(u + 1)}
+		seen[k] = true
+		es = append(es, Edge{k.u, k.v, 1 + rng.Float64()*(cfg.MaxWeight-1)})
+	}
+	want := int(float64(n) * cfg.AvgDegree)
+	attempts := 0
+	for len(es) < want && attempts < want*64 {
+		attempts++
+		u := rng.Intn(n)
+		var v int
+		if rng.Float64() < cfg.LongRange {
+			// Long-range links split between backward hub links (to
+			// already-crawled pages) and bounded forward skips (~2% of the
+			// crawl). Backward links preserve the long forward paths that
+			// make the class "narrow"; the bounded skips provide the path
+			// redundancy real web graphs have, so a single deleted edge does
+			// not orphan everything downstream.
+			if rng.Float64() < 0.5 {
+				if u == 0 {
+					continue
+				}
+				v = rng.Intn(u)
+			} else {
+				reach := n / 25
+				if reach < cfg.Locality*2 {
+					reach = cfg.Locality * 2
+				}
+				v = u + cfg.Locality + rng.Intn(reach)
+			}
+		} else {
+			v = u + 1 + rng.Intn(cfg.Locality)
+		}
+		if v >= n || v == u {
+			continue
+		}
+		k := key{VertexID(u), VertexID(v)}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		es = append(es, Edge{k.u, k.v, 1 + rng.Float64()*(cfg.MaxWeight-1)})
+	}
+	return MustBuild(n, es)
+}
+
+// GridConfig parameterizes a road-network-like lattice.
+type GridConfig struct {
+	Rows, Cols int
+	Diagonal   float64 // probability of a diagonal shortcut per cell
+	MaxWeight  float64
+	Seed       int64
+}
+
+// Grid generates a 2D lattice with bidirectional edges and random weights —
+// a road-network stand-in used by the roadnetwork example.
+func Grid(cfg GridConfig) *CSR {
+	if cfg.MaxWeight <= 0 {
+		cfg.MaxWeight = 16
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Rows * cfg.Cols
+	id := func(r, c int) VertexID { return VertexID(r*cfg.Cols + c) }
+	var es []Edge
+	add := func(a, b VertexID) {
+		w := 1 + rng.Float64()*(cfg.MaxWeight-1)
+		es = append(es, Edge{a, b, w}, Edge{b, a, w})
+	}
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			if c+1 < cfg.Cols {
+				add(id(r, c), id(r, c+1))
+			}
+			if r+1 < cfg.Rows {
+				add(id(r, c), id(r+1, c))
+			}
+			if r+1 < cfg.Rows && c+1 < cfg.Cols && rng.Float64() < cfg.Diagonal {
+				add(id(r, c), id(r+1, c+1))
+			}
+		}
+	}
+	return MustBuild(n, es)
+}
+
+// ErdosRenyi generates a uniform random graph; property tests use it for
+// unstructured inputs.
+func ErdosRenyi(n, m int, maxWeight float64, seed int64) *CSR {
+	if maxWeight <= 0 {
+		maxWeight = 64
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type key struct{ u, v VertexID }
+	seen := make(map[key]bool, m)
+	es := make([]Edge, 0, m)
+	attempts := 0
+	for len(es) < m && attempts < m*64 {
+		attempts++
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		k := key{VertexID(u), VertexID(v)}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		es = append(es, Edge{k.u, k.v, 1 + rng.Float64()*(maxWeight-1)})
+	}
+	return MustBuild(n, es)
+}
+
+// Dataset names mirror the paper's Table 2. Sizes are scaled down ~100×
+// (the relative ordering is preserved) so the whole evaluation runs on a
+// laptop; the topology class matches the original.
+type Dataset struct {
+	Name        string // paper's short code: WK FB LJ UK TW
+	Description string
+	Build       func(seed int64) *CSR
+}
+
+// Datasets returns the five Table 2 stand-ins in paper order.
+func Datasets() []Dataset {
+	return []Dataset{
+		{"WK", "Wikipedia-like page links (narrow, long paths)", func(seed int64) *CSR {
+			return WebCrawl(WebCrawlConfig{Vertices: 20000, AvgDegree: 12, Locality: 16, LongRange: 0.1, Seed: seed})
+		}},
+		{"FB", "Facebook-like social network (highly connected)", func(seed int64) *CSR {
+			return RMAT(RMATConfig{Vertices: 18000, Edges: 280000, Seed: seed})
+		}},
+		{"LJ", "LiveJournal-like social network (highly connected)", func(seed int64) *CSR {
+			return RMAT(RMATConfig{Vertices: 30000, Edges: 420000, Seed: seed})
+		}},
+		{"UK", "UK-domain-like web crawl (narrow, long paths, larger)", func(seed int64) *CSR {
+			return WebCrawl(WebCrawlConfig{Vertices: 60000, AvgDegree: 16, Locality: 24, LongRange: 0.09, Seed: seed})
+		}},
+		{"TW", "Twitter-like follower graph (largest, heavy tail)", func(seed int64) *CSR {
+			return RMAT(RMATConfig{Vertices: 80000, Edges: 1200000, A: 0.6, B: 0.18, C: 0.18, Seed: seed})
+		}},
+	}
+}
+
+// DatasetByName returns the Table 2 stand-in with the given code.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("graph: unknown dataset %q (want WK, FB, LJ, UK or TW)", name)
+}

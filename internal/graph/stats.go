@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a graph's structure: the numbers behind the paper's
+// Table 2 workload characterization ("narrow graphs with long paths" vs
+// "large, highly connected networks").
+type Stats struct {
+	Vertices, Edges int
+
+	// Out-degree distribution.
+	MaxOutDegree  int
+	MeanOutDegree float64
+	P99OutDegree  int
+	// Isolated counts vertices with neither in- nor out-edges.
+	Isolated int
+
+	// EstimatedDepth is the BFS depth from the highest-out-degree vertex —
+	// a cheap diameter proxy separating the two topology classes.
+	EstimatedDepth int
+	// ReachableFrac is the fraction of vertices reachable from that vertex.
+	ReachableFrac float64
+}
+
+// ComputeStats walks g once (plus one BFS).
+func ComputeStats(g *CSR) Stats {
+	s := Stats{Vertices: g.NumVertices(), Edges: g.NumEdges()}
+	if s.Vertices == 0 {
+		return s
+	}
+	degs := make([]int, s.Vertices)
+	root := VertexID(0)
+	for v := 0; v < s.Vertices; v++ {
+		d := g.OutDegree(VertexID(v))
+		degs[v] = d
+		if d > s.MaxOutDegree {
+			s.MaxOutDegree = d
+			root = VertexID(v)
+		}
+		if d == 0 && g.InDegree(VertexID(v)) == 0 {
+			s.Isolated++
+		}
+	}
+	s.MeanOutDegree = float64(s.Edges) / float64(s.Vertices)
+	sort.Ints(degs)
+	s.P99OutDegree = degs[len(degs)*99/100]
+
+	// BFS from the hub.
+	dist := make([]int, s.Vertices)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	q := []VertexID{root}
+	reached := 1
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		g.OutEdges(u, func(v VertexID, _ Weight) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				if dist[v] > s.EstimatedDepth {
+					s.EstimatedDepth = dist[v]
+				}
+				reached++
+				q = append(q, v)
+			}
+		})
+	}
+	s.ReachableFrac = float64(reached) / float64(s.Vertices)
+	return s
+}
+
+// String renders a compact report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vertices=%d edges=%d mean-deg=%.1f max-deg=%d p99-deg=%d isolated=%d depth≈%d reach=%.0f%%",
+		s.Vertices, s.Edges, s.MeanOutDegree, s.MaxOutDegree, s.P99OutDegree,
+		s.Isolated, s.EstimatedDepth, 100*s.ReachableFrac)
+	return b.String()
+}

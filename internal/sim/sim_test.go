@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	var k Kernel
+	var got []int
+	k.Schedule(10, func() { got = append(got, 2) })
+	k.Schedule(5, func() { got = append(got, 1) })
+	k.Schedule(10, func() { got = append(got, 3) }) // same cycle: FIFO
+	k.Schedule(20, func() { got = append(got, 4) })
+	end := k.Run()
+	if end != 20 {
+		t.Errorf("end cycle = %d, want 20", end)
+	}
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKernelCascade(t *testing.T) {
+	var k Kernel
+	depth := 0
+	var fire func()
+	fire = func() {
+		depth++
+		if depth < 5 {
+			k.After(3, fire)
+		}
+	}
+	k.Schedule(0, fire)
+	end := k.Run()
+	if depth != 5 {
+		t.Errorf("depth = %d, want 5", depth)
+	}
+	if end != 12 {
+		t.Errorf("end = %d, want 12", end)
+	}
+}
+
+func TestScheduleInPastClamps(t *testing.T) {
+	var k Kernel
+	ran := false
+	k.Schedule(10, func() {
+		k.Schedule(3, func() { ran = true }) // in the past: clamp to now
+	})
+	end := k.Run()
+	if !ran || end != 10 {
+		t.Errorf("ran=%v end=%d, want true/10", ran, end)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	r := Resource{Interval: 4}
+	s1 := r.Acquire(0)
+	s2 := r.Acquire(0)
+	s3 := r.Acquire(100)
+	if s1 != 0 || s2 != 4 {
+		t.Errorf("starts %d,%d, want 0,4", s1, s2)
+	}
+	if s3 != 100 {
+		t.Errorf("idle resource start = %d, want 100", s3)
+	}
+	if r.Busy() != 12 {
+		t.Errorf("busy = %d, want 12", r.Busy())
+	}
+	r.Reset()
+	if r.Acquire(0) != 0 || r.Busy() != 4 {
+		t.Error("reset did not clear schedule")
+	}
+}
+
+func TestResourceZeroInterval(t *testing.T) {
+	r := Resource{} // Interval 0 treated as 1
+	if r.Acquire(0) != 0 || r.Acquire(0) != 1 {
+		t.Error("zero interval should behave as 1")
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	b := Bandwidth{BytesPerCycle: 16}
+	done := b.Transfer(0, 64)
+	if done != 4 {
+		t.Errorf("64B at 16B/c done = %d, want 4", done)
+	}
+	done = b.Transfer(0, 64) // queued behind the first
+	if done != 8 {
+		t.Errorf("second transfer done = %d, want 8", done)
+	}
+	if b.Bytes() != 128 {
+		t.Errorf("bytes = %d", b.Bytes())
+	}
+	// Sub-cycle transfers still take one cycle.
+	b2 := Bandwidth{BytesPerCycle: 100}
+	if b2.Transfer(0, 1) != 1 {
+		t.Error("minimum transfer duration is 1 cycle")
+	}
+}
+
+func TestQuickResourceMonotone(t *testing.T) {
+	// Property: successive Acquire starts are strictly increasing by at
+	// least Interval, regardless of request times.
+	f := func(times []uint16) bool {
+		r := Resource{Interval: 3}
+		var last int64 = -3
+		for _, at := range times {
+			s := r.Acquire(uint64(at))
+			if int64(s) < last+3 {
+				return false
+			}
+			if s < uint64(at) {
+				return false
+			}
+			last = int64(s)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(3, 5) != 5 || Max(5, 3) != 5 || Max(4, 4) != 4 {
+		t.Error("Max broken")
+	}
+}

@@ -1,0 +1,175 @@
+// Package version is the host-side graph versioning framework the paper
+// assumes around the accelerator (§4.7): "we leave the task of maintaining
+// the evolving edge list to a suitable software graph versioning framework.
+// In the simplest case, we assume the host writes a new CSR for the mutated
+// graph version to the accelerator memory and swaps the pointer after each
+// batch iteration. In practice, any graph versioning storage, such as
+// Version Traveler or GraphOne, can be used."
+//
+// Store keeps a chain of graph versions built from an initial snapshot plus
+// the stream of update batches, in the GraphOne style: recent versions stay
+// materialized as CSRs (ready for the accelerator's pointer swap), older
+// ones are retained as deltas and re-materialized on demand by replaying
+// from the nearest snapshot. Multiple standing queries (and the cold-start
+// comparator) can therefore share one mutation history without re-applying
+// batches per consumer.
+package version
+
+import (
+	"fmt"
+	"sync"
+
+	"jetstream/internal/graph"
+)
+
+// Store is a multi-version graph container. It is safe for concurrent
+// readers; Append serializes internally.
+type Store struct {
+	mu sync.RWMutex
+
+	base     *graph.CSR
+	deltas   []graph.Batch // deltas[i] transforms version i into version i+1
+	matCache map[int]*graph.CSR
+	// keepEvery controls which materialized versions are retained as
+	// snapshots: version v stays cached if v%keepEvery == 0 or v is the
+	// newest.
+	keepEvery int
+}
+
+// NewStore starts a version chain at the given base graph (version 0).
+// keepEvery <= 0 selects 8: every eighth version stays materialized as a
+// snapshot for fast historical access.
+func NewStore(base *graph.CSR, keepEvery int) *Store {
+	if keepEvery <= 0 {
+		keepEvery = 8
+	}
+	return &Store{
+		base:      base,
+		matCache:  map[int]*graph.CSR{0: base},
+		keepEvery: keepEvery,
+	}
+}
+
+// Latest returns the newest version number.
+func (s *Store) Latest() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.deltas)
+}
+
+// Append validates and applies a batch, creating a new version; it returns
+// the new version number and its materialized CSR (the pointer the host
+// hands to the accelerator).
+func (s *Store) Append(b graph.Batch) (int, *graph.CSR, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, err := s.materializeLocked(len(s.deltas))
+	if err != nil {
+		return 0, nil, err
+	}
+	next, err := cur.Apply(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	s.deltas = append(s.deltas, b)
+	v := len(s.deltas)
+	s.matCache[v] = next
+	s.evictLocked(v)
+	return v, next, nil
+}
+
+// At materializes version v (0 = base). Historical versions are rebuilt by
+// replaying deltas from the nearest retained snapshot.
+func (s *Store) At(v int) (*graph.CSR, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.materializeLocked(v)
+}
+
+// Delta returns the batch that transforms version v into v+1.
+func (s *Store) Delta(v int) (graph.Batch, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if v < 0 || v >= len(s.deltas) {
+		return graph.Batch{}, fmt.Errorf("version: no delta %d (have %d)", v, len(s.deltas))
+	}
+	return s.deltas[v], nil
+}
+
+// MaterializedVersions lists the versions currently held as CSR snapshots,
+// for tests and introspection.
+func (s *Store) MaterializedVersions() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, 0, len(s.matCache))
+	for v := range s.matCache {
+		out = append(out, v)
+	}
+	return out
+}
+
+func (s *Store) materializeLocked(v int) (*graph.CSR, error) {
+	if v < 0 || v > len(s.deltas) {
+		return nil, fmt.Errorf("version: %d out of range (latest %d)", v, len(s.deltas))
+	}
+	if g, ok := s.matCache[v]; ok {
+		return g, nil
+	}
+	// Replay from the nearest earlier snapshot.
+	from := v
+	for from > 0 {
+		if _, ok := s.matCache[from]; ok {
+			break
+		}
+		from--
+	}
+	g := s.matCache[from]
+	for i := from; i < v; i++ {
+		ng, err := g.Apply(s.deltas[i])
+		if err != nil {
+			return nil, fmt.Errorf("version: replaying delta %d: %w", i, err)
+		}
+		g = ng
+	}
+	// Cache the requested version if it is a snapshot point.
+	if v%s.keepEvery == 0 || v == len(s.deltas) {
+		s.matCache[v] = g
+	}
+	return g, nil
+}
+
+// evictLocked drops materialized versions that are neither snapshot points
+// nor the newest two versions (the accelerator may still be computing on the
+// previous version while the host prepares the next, §3.3).
+func (s *Store) evictLocked(latest int) {
+	for v := range s.matCache {
+		if v%s.keepEvery == 0 || v >= latest-1 {
+			continue
+		}
+		delete(s.matCache, v)
+	}
+}
+
+// Replay calls fn for every version transition in [from, to): the version
+// number, the materialized pre-state, and the delta. Consumers such as the
+// cold-start comparator use it to walk the history without holding every
+// CSR alive at once.
+func (s *Store) Replay(from, to int, fn func(v int, g *graph.CSR, delta graph.Batch) error) error {
+	if from < 0 || to > s.Latest() || from > to {
+		return fmt.Errorf("version: bad replay range [%d,%d) with latest %d", from, to, s.Latest())
+	}
+	for v := from; v < to; v++ {
+		g, err := s.At(v)
+		if err != nil {
+			return err
+		}
+		d, err := s.Delta(v)
+		if err != nil {
+			return err
+		}
+		if err := fn(v, g, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+// Package jetstream is a reproduction of "JetStream: Graph Analytics on
+// Streaming Data with Event-Driven Hardware Accelerator" (MICRO 2021): an
+// event-driven streaming-graph accelerator model that incrementally
+// re-evaluates standing queries (SSSP, SSWP, BFS, Connected Components,
+// incremental PageRank, Adsorption) over batches of edge insertions and
+// deletions, together with the GraphPulse static baseline and the
+// KickStarter/GraphBolt software comparators used in the paper's evaluation.
+//
+// Quick start:
+//
+//	g := jetstream.RMAT(jetstream.RMATConfig{Vertices: 10000, Edges: 80000, Seed: 1})
+//	sys, _ := jetstream.New(g, jetstream.SSSP(0))
+//	init := sys.RunInitial()
+//	res, _ := sys.ApplyBatch(jetstream.Batch{
+//	    Inserts: []jetstream.Edge{{Src: 3, Dst: 5, Weight: 2}},
+//	})
+//	fmt.Println(init.Duration, res.Duration, sys.State()[5])
+package jetstream
+
+import (
+	"fmt"
+	"time"
+
+	"jetstream/internal/algo"
+	"jetstream/internal/core"
+	"jetstream/internal/engine"
+	"jetstream/internal/graph"
+	"jetstream/internal/stats"
+	"jetstream/internal/stream"
+)
+
+// Re-exported substrate types, so downstream code only imports this package.
+type (
+	// Graph is an immutable CSR graph version with both edge directions
+	// indexed.
+	Graph = graph.CSR
+	// Edge is a directed weighted edge.
+	Edge = graph.Edge
+	// Batch is one streaming update: edges to insert and delete.
+	Batch = graph.Batch
+	// Algorithm is a DAIC kernel (Reduce/Propagate/Identity).
+	Algorithm = algo.Algorithm
+	// Counters is the work/traffic counter set.
+	Counters = stats.Counters
+	// RMATConfig parameterizes the social-network-style generator.
+	RMATConfig = graph.RMATConfig
+	// WebCrawlConfig parameterizes the web-crawl-style generator.
+	WebCrawlConfig = graph.WebCrawlConfig
+	// GridConfig parameterizes the road-network-style generator.
+	GridConfig = graph.GridConfig
+	// StreamConfig parameterizes the update-batch generator.
+	StreamConfig = stream.Config
+	// StreamGenerator draws successive valid update batches.
+	StreamGenerator = stream.Generator
+	// AcceleratorConfig describes the modeled hardware (paper Table 1).
+	AcceleratorConfig = engine.Config
+	// OptLevel selects the deletion-recovery pruning optimization.
+	OptLevel = core.OptLevel
+)
+
+// Optimization levels (paper §5).
+const (
+	OptBase = core.OptBase
+	OptVAP  = core.OptVAP
+	OptDAP  = core.OptDAP
+)
+
+// Graph constructors.
+var (
+	// BuildGraph constructs a CSR over n vertices from an edge list.
+	BuildGraph = graph.Build
+	// Symmetrize mirrors every edge (required for Connected Components).
+	Symmetrize = graph.Symmetrize
+	// RMAT generates a power-law social-network-style graph.
+	RMAT = graph.RMAT
+	// WebCrawl generates a narrow, long-path web-style graph.
+	WebCrawl = graph.WebCrawl
+	// Grid generates a road-network-style lattice.
+	Grid = graph.Grid
+	// ErdosRenyi generates a uniform random graph.
+	ErdosRenyi = graph.ErdosRenyi
+	// ReadEdgeList parses a "src dst [weight]" text edge list.
+	ReadEdgeList = graph.ReadEdgeList
+	// WriteEdgeList serializes a graph in the same format.
+	WriteEdgeList = graph.WriteEdgeList
+	// NewStream returns a deterministic update-batch generator.
+	NewStream = stream.NewGenerator
+)
+
+// Algorithm constructors for the six evaluated kernels.
+func SSSP(root uint32) Algorithm { return algo.NewSSSP(root) }
+func SSWP(root uint32) Algorithm { return algo.NewSSWP(root) }
+func BFS(root uint32) Algorithm  { return algo.NewBFS(root) }
+func CC() Algorithm              { return algo.NewCC() }
+
+// PageRank returns the incremental PageRank kernel; eps <= 0 selects the
+// default convergence threshold.
+func PageRank(eps float64) Algorithm { return algo.NewPageRank(eps) }
+
+// Adsorption returns the Adsorption kernel; eps <= 0 selects the default.
+func Adsorption(eps float64) Algorithm { return algo.NewAdsorption(eps) }
+
+// AlgorithmByName resolves one of "sssp", "sswp", "bfs", "cc", "pagerank",
+// "adsorption".
+func AlgorithmByName(name string, root uint32, eps float64) (Algorithm, error) {
+	return algo.New(name, root, eps)
+}
+
+// Option configures a System. Options compose in any order.
+type Option func(*options)
+
+type options struct {
+	opt      OptLevel
+	slices   int
+	timing   bool
+	detailed bool
+	accel    *engine.Config
+}
+
+// WithOpt selects the deletion-recovery optimization (default OptDAP).
+func WithOpt(o OptLevel) Option {
+	return func(op *options) { op.opt = o }
+}
+
+// WithSlices partitions the graph into k slices (for graphs exceeding the
+// on-chip queue capacity).
+func WithSlices(k int) Option { return func(op *options) { op.slices = k } }
+
+// WithTiming toggles the cycle-accurate timing model (default on). With it
+// off the system is a fast functional streaming-graph engine.
+func WithTiming(on bool) Option { return func(op *options) { op.timing = on } }
+
+// WithDetailedTiming selects the per-event pipeline timing model (contended
+// apply units, generation streams, crossbar ports and coalescer pipelines)
+// instead of the default batch-level throughput model. Slower to simulate;
+// resolves port-contention hot spots.
+func WithDetailedTiming() Option {
+	return func(op *options) { op.detailed = true }
+}
+
+// WithAccelerator overrides the hardware configuration (the event mode and
+// vertex footprint still follow the optimization level).
+func WithAccelerator(cfg AcceleratorConfig) Option {
+	return func(op *options) { op.accel = &cfg }
+}
+
+// Result summarizes one operation (initial run or one batch).
+type Result struct {
+	// Cycles consumed by this operation at the accelerator clock.
+	Cycles uint64
+	// Duration is Cycles at the configured clock.
+	Duration time.Duration
+	// Stats holds the work counters for this operation only.
+	Stats Counters
+}
+
+// System is a standing query over a streaming graph: the JetStream engine,
+// its current graph version, and its converged vertex states.
+type System struct {
+	js   *core.JetStream
+	st   *stats.Counters
+	cfg  core.Config
+	prev stats.Counters
+	init bool
+}
+
+// New builds a System for query a over initial graph g.
+func New(g *Graph, a Algorithm, opts ...Option) (*System, error) {
+	if algo.NeedsSymmetric(a) {
+		for _, e := range g.Edges() {
+			if _, ok := g.HasEdge(e.Dst, e.Src); !ok {
+				return nil, fmt.Errorf("jetstream: %s requires a symmetric graph; use Symmetrize", a.Name())
+			}
+		}
+	}
+	op := &options{opt: OptDAP, timing: true}
+	for _, o := range opts {
+		o(op)
+	}
+	cfg := core.ConfigWithOpt(op.opt)
+	if op.accel != nil {
+		mode, vb := cfg.Engine.EventMode, cfg.Engine.VertexBytes
+		cfg.Engine = *op.accel
+		cfg.Engine.EventMode, cfg.Engine.VertexBytes = mode, vb
+	}
+	cfg.Slices = op.slices
+	cfg.Engine.Timing = op.timing
+	cfg.Engine.DetailedTiming = op.detailed
+	st := &stats.Counters{}
+	return &System{js: core.New(g, a, cfg, st), st: st, cfg: cfg}, nil
+}
+
+// delta snapshots the counters consumed since the previous snapshot.
+func (s *System) delta() Result {
+	cur := *s.st
+	cur.Cycles = s.js.Cycles()
+	d := cur
+	d.EventsProcessed -= s.prev.EventsProcessed
+	d.EventsGenerated -= s.prev.EventsGenerated
+	d.EventsCoalesced -= s.prev.EventsCoalesced
+	d.VertexReads -= s.prev.VertexReads
+	d.VertexWrites -= s.prev.VertexWrites
+	d.EdgeReads -= s.prev.EdgeReads
+	d.VerticesReset -= s.prev.VerticesReset
+	d.RequestsIssued -= s.prev.RequestsIssued
+	d.DeletesDiscarded -= s.prev.DeletesDiscarded
+	d.Rounds -= s.prev.Rounds
+	d.Phases -= s.prev.Phases
+	d.BytesTransferred -= s.prev.BytesTransferred
+	d.BytesUsed -= s.prev.BytesUsed
+	d.DRAMAccesses -= s.prev.DRAMAccesses
+	d.RowHits -= s.prev.RowHits
+	d.SpillBytes -= s.prev.SpillBytes
+	d.Cycles -= s.prev.Cycles
+	s.prev = cur
+	secs := s.cfg.Engine.CyclesToSeconds(d.Cycles)
+	return Result{
+		Cycles:   d.Cycles,
+		Duration: time.Duration(secs * float64(time.Second)),
+		Stats:    d,
+	}
+}
+
+// RunInitial performs the initial static evaluation (cold start). It must be
+// called once before streaming batches.
+func (s *System) RunInitial() Result {
+	s.js.RunInitial()
+	s.init = true
+	return s.delta()
+}
+
+// ApplyBatch incrementally updates the query results for the next graph
+// version.
+func (s *System) ApplyBatch(b Batch) (Result, error) {
+	if !s.init {
+		return Result{}, fmt.Errorf("jetstream: call RunInitial before ApplyBatch")
+	}
+	if err := s.js.ApplyBatch(b); err != nil {
+		return Result{}, err
+	}
+	return s.delta(), nil
+}
+
+// Graph returns the current graph version.
+func (s *System) Graph() *Graph { return s.js.Graph() }
+
+// State returns the converged per-vertex results (live slice).
+func (s *System) State() []float64 { return s.js.State() }
+
+// TotalStats returns cumulative counters since construction.
+func (s *System) TotalStats() Counters {
+	c := *s.st
+	c.Cycles = s.js.Cycles()
+	return c
+}
+
+// Verify recomputes the query from scratch with a conventional solver and
+// returns the maximum deviation of the streaming state — a self-check.
+func (s *System) Verify() float64 { return s.js.Verify() }

@@ -1,0 +1,157 @@
+package jetstream
+
+import (
+	"testing"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	g := RMAT(RMATConfig{Vertices: 500, Edges: 4000, Seed: 1})
+	sys, err := New(g, SSSP(0), WithTiming(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := sys.RunInitial()
+	if init.Cycles == 0 || init.Duration <= 0 {
+		t.Fatalf("initial run: %+v", init)
+	}
+	gen := NewStream(StreamConfig{BatchSize: 50, InsertFrac: 0.7, Seed: 2})
+	res, err := sys.ApplyBatch(gen.Next(sys.Graph()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Cycles >= init.Cycles {
+		t.Errorf("batch cycles %d should be positive and below cold start %d", res.Cycles, init.Cycles)
+	}
+	if d := sys.Verify(); d != 0 {
+		t.Errorf("Verify = %v", d)
+	}
+	if sys.TotalStats().Cycles != init.Cycles+res.Cycles {
+		t.Errorf("total cycles %d != %d + %d", sys.TotalStats().Cycles, init.Cycles, res.Cycles)
+	}
+}
+
+func TestApplyBeforeInitialRejected(t *testing.T) {
+	g := RMAT(RMATConfig{Vertices: 100, Edges: 500, Seed: 3})
+	sys, _ := New(g, BFS(0))
+	if _, err := sys.ApplyBatch(Batch{}); err == nil {
+		t.Error("ApplyBatch before RunInitial accepted")
+	}
+}
+
+func TestCCRequiresSymmetric(t *testing.T) {
+	g := RMAT(RMATConfig{Vertices: 100, Edges: 500, Seed: 4})
+	if _, err := New(g, CC()); err == nil {
+		t.Error("asymmetric graph accepted for CC")
+	}
+	if _, err := New(Symmetrize(g), CC()); err != nil {
+		t.Errorf("symmetric graph rejected: %v", err)
+	}
+}
+
+func TestAllAlgorithmsThroughPublicAPI(t *testing.T) {
+	for _, name := range []string{"sssp", "sswp", "bfs", "cc", "pagerank", "adsorption"} {
+		t.Run(name, func(t *testing.T) {
+			a, err := AlgorithmByName(name, 0, 1e-9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := RMAT(RMATConfig{Vertices: 200, Edges: 1500, Seed: 5})
+			var gen *StreamGenerator
+			if name == "cc" {
+				g = Symmetrize(g)
+				gen = NewStream(StreamConfig{BatchSize: 30, InsertFrac: 0.5, Symmetric: true, Seed: 6})
+			} else {
+				gen = NewStream(StreamConfig{BatchSize: 30, InsertFrac: 0.5, Seed: 6})
+			}
+			sys, err := New(g, a, WithTiming(false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.RunInitial()
+			for i := 0; i < 3; i++ {
+				if _, err := sys.ApplyBatch(gen.Next(sys.Graph())); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tol := 0.0
+			if name == "pagerank" || name == "adsorption" {
+				tol = 1e-3
+			}
+			if d := sys.Verify(); d > tol {
+				t.Errorf("diverged by %v", d)
+			}
+		})
+	}
+}
+
+func TestOptLevelsThroughPublicAPI(t *testing.T) {
+	g := RMAT(RMATConfig{Vertices: 300, Edges: 2400, Seed: 7})
+	for _, opt := range []OptLevel{OptBase, OptVAP, OptDAP} {
+		sys, err := New(g, SSWP(0), WithOpt(opt), WithTiming(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.RunInitial()
+		gen := NewStream(StreamConfig{BatchSize: 40, InsertFrac: 0.3, Seed: 8})
+		if _, err := sys.ApplyBatch(gen.Next(sys.Graph())); err != nil {
+			t.Fatal(err)
+		}
+		if d := sys.Verify(); d != 0 {
+			t.Errorf("%v: diverged by %v", opt, d)
+		}
+	}
+}
+
+func TestBatchResultStats(t *testing.T) {
+	// The web-crawl backbone makes every vertex reachable from 0, so a
+	// delete-only batch is guaranteed to hit dependence edges.
+	g := WebCrawl(WebCrawlConfig{Vertices: 400, AvgDegree: 5, Seed: 9})
+	sys, _ := New(g, SSSP(0))
+	sys.RunInitial()
+	gen := NewStream(StreamConfig{BatchSize: 60, InsertFrac: 0, Seed: 10})
+	res, err := sys.ApplyBatch(gen.Next(sys.Graph()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.EventsProcessed == 0 {
+		t.Error("batch processed no events")
+	}
+	if res.Stats.VerticesReset == 0 {
+		t.Error("delete-only batch reset nothing")
+	}
+}
+
+func TestWithSlices(t *testing.T) {
+	g := RMAT(RMATConfig{Vertices: 800, Edges: 6000, Seed: 11})
+	sys, _ := New(g, BFS(0), WithSlices(3))
+	sys.RunInitial()
+	gen := NewStream(StreamConfig{BatchSize: 40, InsertFrac: 0.5, Seed: 12})
+	if _, err := sys.ApplyBatch(gen.Next(sys.Graph())); err != nil {
+		t.Fatal(err)
+	}
+	if d := sys.Verify(); d != 0 {
+		t.Errorf("sliced system diverged by %v", d)
+	}
+	if sys.TotalStats().SpillBytes == 0 {
+		t.Error("sliced system spilled nothing")
+	}
+}
+
+func TestDetailedTimingThroughPublicAPI(t *testing.T) {
+	g := RMAT(RMATConfig{Vertices: 300, Edges: 2400, Seed: 13})
+	det, _ := New(g, SSSP(0), WithDetailedTiming())
+	fast, _ := New(g, SSSP(0))
+	dres := det.RunInitial()
+	fres := fast.RunInitial()
+	if dres.Cycles == 0 || fres.Cycles == 0 {
+		t.Fatal("zero cycles")
+	}
+	gen := NewStream(StreamConfig{BatchSize: 40, InsertFrac: 0.6, Seed: 14})
+	b := gen.Next(det.Graph())
+	if _, err := det.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if d := det.Verify(); d != 0 {
+		t.Errorf("detailed-timing system diverged by %v", d)
+	}
+}
