@@ -24,7 +24,10 @@ import (
 func BenchmarkTable3Speedups(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := bench.NewRunner(true)
-		res := r.Table3()
+		res, err := r.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
 		gpSSSP, ksSSSP := res.GeoMeans("sssp")
 		gpPR, gbPR := res.GeoMeans("pagerank")
 		b.ReportMetric(gpSSSP, "sssp-vs-GP-x")
@@ -37,7 +40,10 @@ func BenchmarkTable3Speedups(b *testing.B) {
 func BenchmarkFig9Accesses(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := bench.NewRunner(true)
-		res := r.Fig9()
+		res, err := r.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
 		var vsum, esum float64
 		for _, c := range res.Cells {
 			vsum += c.VertexRatio
@@ -52,7 +58,10 @@ func BenchmarkFig9Accesses(b *testing.B) {
 func BenchmarkFig10Resets(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := bench.NewRunner(true)
-		res := r.Fig10()
+		res, err := r.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
 		var jet, ks float64
 		for _, c := range res.Cells {
 			jet += float64(c.JetResets)
@@ -66,7 +75,10 @@ func BenchmarkFig10Resets(b *testing.B) {
 func BenchmarkFig11MemUtil(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := bench.NewRunner(true)
-		res := r.Fig11()
+		res, err := r.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
 		var jet, gp float64
 		for _, c := range res.Cells {
 			jet += c.JetUtil
@@ -81,7 +93,10 @@ func BenchmarkFig11MemUtil(b *testing.B) {
 func BenchmarkFig12Optimizations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := bench.NewRunner(true)
-		res := r.Fig12()
+		res, err := r.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
 		var base, vap, dap float64
 		for _, c := range res.Cells {
 			base += c.Base
@@ -98,7 +113,10 @@ func BenchmarkFig12Optimizations(b *testing.B) {
 func BenchmarkFig13BatchSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := bench.NewRunner(true)
-		res := r.Fig13()
+		res, err := r.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, s := range res.Series {
 			last := s.Points[len(s.Points)-1]
 			if s.Algo == "sssp" {
@@ -113,7 +131,10 @@ func BenchmarkFig13BatchSize(b *testing.B) {
 func BenchmarkFig14Composition(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := bench.NewRunner(true)
-		res := r.Fig14()
+		res, err := r.Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, s := range res.Series {
 			var ins, del float64
 			for _, p := range s.Points {

@@ -1,0 +1,442 @@
+package jetstream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+
+	"jetstream/internal/algo"
+	"jetstream/internal/graph"
+	"jetstream/internal/stats"
+)
+
+// Checkpoint format: an 8-byte magic, a format version, the payload length,
+// the payload, and a trailing CRC64 (ECMA) over the payload. The payload
+// carries everything needed to resume the standing query exactly — algorithm
+// identity and parameters, configuration, graph version, per-vertex state and
+// dependency fields, cumulative counters and cycles, and the batch count that
+// drives the watchdog cadence.
+//
+// Microarchitectural timing state (cache contents, DRAM row buffers) is
+// deliberately not checkpointed: it affects only the cycle estimate of future
+// batches, never results. Accumulated cycles resume via a base offset.
+var (
+	ckptMagic = [8]byte{'J', 'S', 'C', 'K', 'P', 'T', '0', '1'}
+
+	// ErrCorruptCheckpoint is wrapped by Restore errors caused by a damaged
+	// or truncated checkpoint (bad magic, short payload, checksum mismatch,
+	// or inconsistent contents).
+	ErrCorruptCheckpoint = errors.New("jetstream: corrupt checkpoint")
+)
+
+const ckptVersion uint32 = 1
+
+var ckptCRC = crc64.MakeTable(crc64.ECMA)
+
+// counterFields fixes the serialization order of the counter set; both
+// directions of the codec share it.
+func counterFields(c *stats.Counters) []*uint64 {
+	return []*uint64{
+		&c.EventsProcessed, &c.EventsGenerated, &c.EventsCoalesced,
+		&c.VertexReads, &c.VertexWrites, &c.EdgeReads,
+		&c.VerticesReset, &c.RequestsIssued, &c.DeletesDiscarded,
+		&c.Rounds, &c.Phases,
+		&c.BytesTransferred, &c.BytesUsed, &c.DRAMAccesses, &c.RowHits, &c.SpillBytes,
+		&c.UpdatesDropped, &c.BatchesRepaired, &c.FaultsInjected,
+		&c.TransfersRetried, &c.TransfersAborted, &c.ColdStartFallbacks,
+		&c.Cycles,
+	}
+}
+
+type ckptWriter struct {
+	buf bytes.Buffer
+}
+
+func (w *ckptWriter) u8(v uint8) { w.buf.WriteByte(v) }
+func (w *ckptWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.buf.Write(b[:])
+}
+func (w *ckptWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf.Write(b[:])
+}
+func (w *ckptWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *ckptWriter) str(s string)  { w.u32(uint32(len(s))); w.buf.WriteString(s) }
+
+type ckptReader struct {
+	b []byte
+}
+
+func (r *ckptReader) need(n int) ([]byte, error) {
+	if len(r.b) < n {
+		return nil, fmt.Errorf("%w: payload truncated", ErrCorruptCheckpoint)
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out, nil
+}
+
+func (r *ckptReader) u8() (uint8, error) {
+	b, err := r.need(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *ckptReader) u32() (uint32, error) {
+	b, err := r.need(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *ckptReader) u64() (uint64, error) {
+	b, err := r.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (r *ckptReader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+func (r *ckptReader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if uint64(n) > uint64(len(r.b)) {
+		return "", fmt.Errorf("%w: string length %d exceeds payload", ErrCorruptCheckpoint, n)
+	}
+	b, _ := r.need(int(n))
+	return string(b), nil
+}
+
+// Checkpoint serializes the System's full resumable state to w: a Restore of
+// the stream continues exactly where this one stands, with identical
+// per-vertex state and cumulative counters. Systems running kernels that
+// cannot be reconstructed by name (custom Algorithm implementations,
+// LinSolve) return an error. Custom accelerator configurations passed via
+// WithAccelerator are not serialized; pass the same option to Restore.
+func (s *System) Checkpoint(w io.Writer) error {
+	if !s.init {
+		return fmt.Errorf("jetstream: cannot checkpoint before RunInitial")
+	}
+	name, root, eps, err := algo.Params(s.alg)
+	if err != nil {
+		return fmt.Errorf("jetstream: checkpoint: %w", err)
+	}
+
+	var p ckptWriter
+	p.str(name)
+	p.u32(root)
+	p.f64(eps)
+
+	// Configuration recorded by New (accelerator overrides excluded).
+	p.u32(uint32(s.cfg.Opt))
+	p.u32(uint32(s.cfg.Slices))
+	boolByte := func(b bool) uint8 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	p.u8(boolByte(s.cfg.Engine.Timing))
+	p.u8(boolByte(s.cfg.Engine.DetailedTiming))
+	p.u32(uint32(s.ingest))
+	p.u64(uint64(s.wd.Every))
+	p.f64(s.wd.Epsilon)
+	p.u64(uint64(s.wd.Sample))
+
+	// Stream position.
+	p.u64(s.batches)
+	p.u64(s.js.Cycles())
+
+	// Counter snapshots: cumulative totals and the last delta() baseline.
+	st := *s.st
+	fields := counterFields(&st)
+	p.u32(uint32(len(fields)))
+	for _, f := range fields {
+		p.u64(*f)
+	}
+	prev := s.prev
+	for _, f := range counterFields(&prev) {
+		p.u64(*f)
+	}
+
+	// Graph version.
+	g := s.js.Graph()
+	p.u64(uint64(g.NumVertices()))
+	edges := g.Edges()
+	p.u64(uint64(len(edges)))
+	for _, e := range edges {
+		p.u32(e.Src)
+		p.u32(e.Dst)
+		p.f64(e.Weight)
+	}
+
+	// Per-vertex engine state and dependency fields.
+	state := s.js.State()
+	p.u64(uint64(len(state)))
+	for _, v := range state {
+		p.f64(v)
+	}
+	dep := s.js.Engine().Dep()
+	p.u64(uint64(len(dep)))
+	for _, d := range dep {
+		p.u32(d)
+	}
+
+	payload := p.buf.Bytes()
+	var hdr ckptWriter
+	hdr.buf.Write(ckptMagic[:])
+	hdr.u32(ckptVersion)
+	hdr.u64(uint64(len(payload)))
+	if _, err := w.Write(hdr.buf.Bytes()); err != nil {
+		return fmt.Errorf("jetstream: checkpoint: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("jetstream: checkpoint: %w", err)
+	}
+	var tail ckptWriter
+	tail.u64(crc64.Checksum(payload, ckptCRC))
+	if _, err := w.Write(tail.buf.Bytes()); err != nil {
+		return fmt.Errorf("jetstream: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Restore rebuilds a System from a checkpoint written by Checkpoint and
+// resumes the stream exactly: the next ApplyBatch continues from the stored
+// graph version with bit-identical per-vertex state. Damaged input is
+// rejected with an error wrapping ErrCorruptCheckpoint and never yields a
+// partially restored System. Options in opts are applied on top of the
+// recorded configuration (e.g. WithAccelerator, which is not serialized);
+// overriding the optimization level of a checkpoint that recorded dependency
+// tracking is rejected.
+func Restore(r io.Reader, opts ...Option) (*System, error) {
+	hdr := make([]byte, len(ckptMagic)+4+8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorruptCheckpoint, err)
+	}
+	if !bytes.Equal(hdr[:len(ckptMagic)], ckptMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptCheckpoint)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[len(ckptMagic):]); v != ckptVersion {
+		return nil, fmt.Errorf("%w: unsupported format version %d", ErrCorruptCheckpoint, v)
+	}
+	plen := binary.LittleEndian.Uint64(hdr[len(ckptMagic)+4:])
+	const maxPayload = 1 << 40
+	if plen > maxPayload {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCorruptCheckpoint, plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: short payload: %v", ErrCorruptCheckpoint, err)
+	}
+	var tail [8]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum: %v", ErrCorruptCheckpoint, err)
+	}
+	if got, want := crc64.Checksum(payload, ckptCRC), binary.LittleEndian.Uint64(tail[:]); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptCheckpoint)
+	}
+
+	p := &ckptReader{b: payload}
+	name, err := p.str()
+	if err != nil {
+		return nil, err
+	}
+	root, err := p.u32()
+	if err != nil {
+		return nil, err
+	}
+	eps, err := p.f64()
+	if err != nil {
+		return nil, err
+	}
+	alg, err := algo.New(name, root, eps)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptCheckpoint, err)
+	}
+
+	opt, err := p.u32()
+	if err != nil {
+		return nil, err
+	}
+	slices, err := p.u32()
+	if err != nil {
+		return nil, err
+	}
+	timing, err := p.u8()
+	if err != nil {
+		return nil, err
+	}
+	detailed, err := p.u8()
+	if err != nil {
+		return nil, err
+	}
+	ingest, err := p.u32()
+	if err != nil {
+		return nil, err
+	}
+	wdEvery, err := p.u64()
+	if err != nil {
+		return nil, err
+	}
+	wdEps, err := p.f64()
+	if err != nil {
+		return nil, err
+	}
+	wdSample, err := p.u64()
+	if err != nil {
+		return nil, err
+	}
+
+	batches, err := p.u64()
+	if err != nil {
+		return nil, err
+	}
+	cycles, err := p.u64()
+	if err != nil {
+		return nil, err
+	}
+
+	nc, err := p.u32()
+	if err != nil {
+		return nil, err
+	}
+	var st, prev stats.Counters
+	if int(nc) != len(counterFields(&st)) {
+		return nil, fmt.Errorf("%w: counter set size %d, want %d", ErrCorruptCheckpoint, nc, len(counterFields(&st)))
+	}
+	for _, f := range counterFields(&st) {
+		if *f, err = p.u64(); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range counterFields(&prev) {
+		if *f, err = p.u64(); err != nil {
+			return nil, err
+		}
+	}
+
+	nv, err := p.u64()
+	if err != nil {
+		return nil, err
+	}
+	ne, err := p.u64()
+	if err != nil {
+		return nil, err
+	}
+	if nv > math.MaxInt32 || ne > uint64(len(p.b))/16 {
+		return nil, fmt.Errorf("%w: implausible graph dimensions (%d vertices, %d edges)", ErrCorruptCheckpoint, nv, ne)
+	}
+	edges := make([]graph.Edge, ne)
+	for i := range edges {
+		if edges[i].Src, err = p.u32(); err != nil {
+			return nil, err
+		}
+		if edges[i].Dst, err = p.u32(); err != nil {
+			return nil, err
+		}
+		if edges[i].Weight, err = p.f64(); err != nil {
+			return nil, err
+		}
+	}
+	g, err := graph.Build(int(nv), edges)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptCheckpoint, err)
+	}
+
+	ns, err := p.u64()
+	if err != nil {
+		return nil, err
+	}
+	if ns != nv {
+		return nil, fmt.Errorf("%w: state length %d for %d vertices", ErrCorruptCheckpoint, ns, nv)
+	}
+	state := make([]float64, ns)
+	for i := range state {
+		if state[i], err = p.f64(); err != nil {
+			return nil, err
+		}
+	}
+	nd, err := p.u64()
+	if err != nil {
+		return nil, err
+	}
+	if nd != 0 && nd != nv {
+		return nil, fmt.Errorf("%w: dependency length %d for %d vertices", ErrCorruptCheckpoint, nd, nv)
+	}
+	dep := make([]graph.VertexID, nd)
+	for i := range dep {
+		if dep[i], err = p.u32(); err != nil {
+			return nil, err
+		}
+	}
+	if len(p.b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptCheckpoint, len(p.b))
+	}
+
+	all := []Option{
+		WithOpt(OptLevel(opt)),
+		WithSlices(int(slices)),
+		WithTiming(timing != 0),
+		WithIngest(IngestPolicy(ingest)),
+		WithWatchdog(WatchdogConfig{Every: int(wdEvery), Epsilon: wdEps, Sample: int(wdSample)}),
+	}
+	if detailed != 0 {
+		all = append(all, WithDetailedTiming())
+	}
+	all = append(all, opts...)
+	sys, err := New(g, alg, all...)
+	if err != nil {
+		return nil, fmt.Errorf("jetstream: restore: %w", err)
+	}
+
+	engDep := sys.js.Engine().Dep()
+	if engDep != nil && len(dep) == 0 {
+		return nil, fmt.Errorf("jetstream: restore: options enable dependency tracking but the checkpoint recorded none")
+	}
+	copy(sys.js.State(), state)
+	if engDep != nil {
+		copy(engDep, dep)
+	}
+	*sys.st = st
+	sys.prev = prev
+	sys.batches = batches
+	sys.js.SetCycleBase(cycles)
+	sys.init = true
+	return sys, nil
+}
+
+// RestoreOrColdStart attempts Restore and, when the checkpoint is damaged or
+// unreadable, falls back to a fresh cold-start evaluation of query a over g —
+// the recovery of last resort, mirroring the watchdog's fallback. The
+// returned bool reports whether the checkpoint was restored (true) or the
+// fallback ran (false); the fallback is counted in ColdStartFallbacks.
+func RestoreOrColdStart(r io.Reader, g *Graph, a Algorithm, opts ...Option) (*System, bool, error) {
+	if sys, err := Restore(r, opts...); err == nil {
+		return sys, true, nil
+	}
+	sys, err := New(g, a, opts...)
+	if err != nil {
+		return nil, false, err
+	}
+	sys.st.ColdStartFallbacks++
+	sys.RunInitial()
+	return sys, false, nil
+}

@@ -1,0 +1,225 @@
+package jetstream
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"jetstream/internal/algo"
+)
+
+// buildStreamed runs a system through n batches and returns it with the
+// generator used, so callers can keep streaming from where it stands.
+func buildStreamed(t *testing.T, n int, opts ...Option) (*System, *StreamGenerator) {
+	t.Helper()
+	g := RMAT(RMATConfig{Vertices: 300, Edges: 2400, Seed: 21})
+	sys, err := New(g, SSSP(0), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RunInitial()
+	gen := NewStream(StreamConfig{BatchSize: 40, InsertFrac: 0.6, Seed: 22})
+	for i := 0; i < n; i++ {
+		if _, err := sys.ApplyBatch(gen.Next(sys.Graph())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys, gen
+}
+
+// absentEdge returns a valid insert naming an edge g does not contain.
+func absentEdge(g *Graph) Edge {
+	for dst := uint32(1); ; dst++ {
+		if _, ok := g.HasEdge(0, dst); !ok {
+			return Edge{Src: 0, Dst: dst, Weight: 2}
+		}
+	}
+}
+
+func TestCheckpointRoundTripMidStream(t *testing.T) {
+	// Timing off: the cycle estimate of future batches depends on
+	// microarchitectural state (caches, row buffers) that is deliberately not
+	// checkpointed, so exact counter equality is asserted on the functional
+	// configuration.
+	orig, gen := buildStreamed(t, 5, WithTiming(false), WithWatchdog(WatchdogConfig{Every: 4}))
+
+	var buf bytes.Buffer
+	if err := orig.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Batches() != orig.Batches() {
+		t.Fatalf("restored %d batches, want %d", restored.Batches(), orig.Batches())
+	}
+	if restored.TotalStats() != orig.TotalStats() {
+		t.Fatalf("restored counters differ:\n%+v\nwant\n%+v", restored.TotalStats(), orig.TotalStats())
+	}
+
+	// Continue BOTH systems through the same five batches. The original's
+	// generator stays authoritative; the recorded batches are replayed into
+	// the restored system.
+	for i := 0; i < 5; i++ {
+		b := gen.Next(orig.Graph())
+		ro, err := orig.ApplyBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := restored.ApplyBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ro.Checked != rr.Checked || ro.FellBack != rr.FellBack {
+			t.Errorf("batch %d: watchdog cadence diverged (%+v vs %+v)", i, ro, rr)
+		}
+	}
+
+	so, sr := orig.State(), restored.State()
+	for i := range so {
+		if so[i] != sr[i] {
+			t.Fatalf("vertex %d state %v != %v after continuation", i, sr[i], so[i])
+		}
+	}
+	if orig.TotalStats() != restored.TotalStats() {
+		t.Errorf("continued counters differ:\n%+v\nwant\n%+v", restored.TotalStats(), orig.TotalStats())
+	}
+	if d := restored.Verify(); d != 0 {
+		t.Errorf("restored system diverged by %v", d)
+	}
+}
+
+func TestCheckpointRoundTripWithTiming(t *testing.T) {
+	// With the timing model on, restored per-vertex state is still
+	// bit-identical; only future cycle estimates may drift (cold caches).
+	orig, _ := buildStreamed(t, 3, WithTiming(true))
+	var buf bytes.Buffer
+	if err := orig.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, sr := orig.State(), restored.State()
+	for i := range so {
+		if so[i] != sr[i] {
+			t.Fatalf("vertex %d state %v != %v", i, sr[i], so[i])
+		}
+	}
+	// Cumulative cycles resume from the checkpointed total.
+	if restored.TotalStats().Cycles != orig.TotalStats().Cycles {
+		t.Errorf("restored cycles %d, want %d", restored.TotalStats().Cycles, orig.TotalStats().Cycles)
+	}
+	if _, err := restored.ApplyBatch(Batch{Inserts: []Edge{absentEdge(restored.Graph())}}); err != nil {
+		t.Fatal(err)
+	}
+	if d := restored.Verify(); d != 0 {
+		t.Errorf("restored system diverged by %v", d)
+	}
+}
+
+func TestCheckpointBeforeInitialRejected(t *testing.T) {
+	g := RMAT(RMATConfig{Vertices: 100, Edges: 500, Seed: 23})
+	sys, _ := New(g, BFS(0))
+	if err := sys.Checkpoint(&bytes.Buffer{}); err == nil {
+		t.Error("checkpoint before RunInitial accepted")
+	}
+}
+
+func TestCheckpointRejectsUnreconstructibleKernel(t *testing.T) {
+	g := RMAT(RMATConfig{Vertices: 100, Edges: 500, Seed: 24})
+	sys, err := New(g, PageRank(0), WithTiming(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RunInitial()
+	// Default PageRank reconstructs fine...
+	if err := sys.Checkpoint(&bytes.Buffer{}); err != nil {
+		t.Errorf("default pagerank checkpoint rejected: %v", err)
+	}
+	// ...but a kernel that cannot be rebuilt by name (LinSolve carries its
+	// constant-term vector) is rejected at checkpoint time, not restore time.
+	lg := algo.RowNormalize(RMAT(RMATConfig{Vertices: 100, Edges: 500, Seed: 24}), 0.7)
+	lin, err := New(lg, algo.NewLinSolve(nil, 1e-7), WithTiming(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin.RunInitial()
+	if err := lin.Checkpoint(&bytes.Buffer{}); err == nil {
+		t.Error("non-reconstructible kernel checkpoint accepted")
+	}
+}
+
+func TestRestoreRejectsCorruption(t *testing.T) {
+	orig, _ := buildStreamed(t, 2, WithTiming(false))
+	var buf bytes.Buffer
+	if err := orig.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	check := func(name string, data []byte) {
+		t.Helper()
+		if _, err := Restore(bytes.NewReader(data)); !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Errorf("%s: error %v does not wrap ErrCorruptCheckpoint", name, err)
+		}
+	}
+	check("empty", nil)
+	check("bad magic", append([]byte("NOTACKPT"), good[8:]...))
+	check("truncated header", good[:10])
+	check("truncated payload", good[:len(good)/2])
+	check("missing checksum", good[:len(good)-4])
+	for _, off := range []int{20, len(good) / 2, len(good) - 20} {
+		flipped := append([]byte(nil), good...)
+		flipped[off] ^= 0x40
+		check("bit flip", flipped)
+	}
+	// A pristine checkpoint still restores after all that.
+	if _, err := Restore(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+}
+
+func TestRestoreOrColdStartFallback(t *testing.T) {
+	g := RMAT(RMATConfig{Vertices: 200, Edges: 1500, Seed: 25})
+
+	// Damaged checkpoint: the fallback cold-starts a fresh system.
+	sys, restoredOK, err := RestoreOrColdStart(bytes.NewReader([]byte("garbage")), g, SSSP(0), WithTiming(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restoredOK {
+		t.Error("garbage reported as restored")
+	}
+	if sys.TotalStats().ColdStartFallbacks != 1 {
+		t.Errorf("ColdStartFallbacks = %d, want 1", sys.TotalStats().ColdStartFallbacks)
+	}
+	// The fallback system is live: it already ran the initial evaluation and
+	// accepts batches.
+	if _, err := sys.ApplyBatch(Batch{Inserts: []Edge{absentEdge(sys.Graph())}}); err != nil {
+		t.Fatal(err)
+	}
+	if d := sys.Verify(); d != 0 {
+		t.Errorf("fallback system diverged by %v", d)
+	}
+
+	// Intact checkpoint: restored, no fallback counted.
+	orig, _ := buildStreamed(t, 2, WithTiming(false))
+	var buf bytes.Buffer
+	if err := orig.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sys2, restoredOK, err := RestoreOrColdStart(&buf, g, SSSP(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restoredOK {
+		t.Error("intact checkpoint fell back")
+	}
+	if sys2.TotalStats().ColdStartFallbacks != 0 {
+		t.Errorf("restore counted a fallback: %d", sys2.TotalStats().ColdStartFallbacks)
+	}
+}

@@ -31,21 +31,30 @@ func main() {
 	r := bench.NewRunner(*quick)
 	r.Seed = *seed
 
+	render := func(run func() (fmt.Stringer, error)) func() (string, error) {
+		return func() (string, error) {
+			res, err := run()
+			if err != nil {
+				return "", err
+			}
+			return res.String(), nil
+		}
+	}
 	experiments := []struct {
 		name string
-		run  func() string
+		run  func() (string, error)
 	}{
-		{"table1", r.Table1},
+		{"table1", func() (string, error) { return r.Table1(), nil }},
 		{"table2", r.Table2},
-		{"table3", func() string { return r.Table3().String() }},
-		{"fig9", func() string { return r.Fig9().String() }},
-		{"fig10", func() string { return r.Fig10().String() }},
-		{"fig11", func() string { return r.Fig11().String() }},
-		{"fig12", func() string { return r.Fig12().String() }},
-		{"fig13", func() string { return r.Fig13().String() }},
-		{"fig14", func() string { return r.Fig14().String() }},
-		{"table4", r.Table4},
-		{"ablations", func() string { return r.Ablations().String() }},
+		{"table3", render(func() (fmt.Stringer, error) { return r.Table3() })},
+		{"fig9", render(func() (fmt.Stringer, error) { return r.Fig9() })},
+		{"fig10", render(func() (fmt.Stringer, error) { return r.Fig10() })},
+		{"fig11", render(func() (fmt.Stringer, error) { return r.Fig11() })},
+		{"fig12", render(func() (fmt.Stringer, error) { return r.Fig12() })},
+		{"fig13", render(func() (fmt.Stringer, error) { return r.Fig13() })},
+		{"fig14", render(func() (fmt.Stringer, error) { return r.Fig14() })},
+		{"table4", func() (string, error) { return r.Table4(), nil }},
+		{"ablations", render(func() (fmt.Stringer, error) { return r.Ablations() })},
 	}
 
 	want := strings.ToLower(*exp)
@@ -56,7 +65,12 @@ func main() {
 		}
 		ran = true
 		start := time.Now()
-		fmt.Println(e.run())
+		out, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
 		fmt.Printf("[%s completed in %.1fs]\n\n", e.name, time.Since(start).Seconds())
 	}
 	if !ran {

@@ -109,7 +109,11 @@ func main() {
 			for _, e := range b.Deletes {
 				fmt.Fprintf(bw, "- %d %d %g\n", e.Src, e.Dst, e.Weight)
 			}
-			cur = cur.MustApply(b)
+			ng, err := cur.Apply(b)
+			if err != nil {
+				log.Fatalf("graphgen: batch does not apply: %v", err)
+			}
+			cur = ng
 		}
 		if err := bw.Flush(); err != nil {
 			log.Fatal(err)

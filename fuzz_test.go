@@ -1,0 +1,89 @@
+package jetstream
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+// fuzzBatch decodes an arbitrary byte string into a Batch. Nothing is
+// validated here on purpose: endpoints may be far out of range, weights may be
+// NaN, negative or infinite, pairs may repeat — the decoder's job is to reach
+// the ugly corners of the input space, ApplyBatch's job is to survive them.
+func fuzzBatch(data []byte) Batch {
+	var b Batch
+	for len(data) >= 5 {
+		op := data[0]
+		src := uint32(data[1])<<1 | uint32(data[2])>>7 // occasionally out of range
+		dst := uint32(data[3])
+		var w float64
+		switch {
+		case len(data) >= 13:
+			w = math.Float64frombits(binary.LittleEndian.Uint64(data[5:13]))
+			data = data[13:]
+		default:
+			w = float64(int8(data[4]))
+			data = data[5:]
+		}
+		e := Edge{Src: src, Dst: dst, Weight: w}
+		if op%2 == 0 {
+			b.Inserts = append(b.Inserts, e)
+		} else {
+			b.Deletes = append(b.Deletes, e)
+		}
+	}
+	return b
+}
+
+// FuzzApplyBatch hardens the public streaming boundary: batches decoded from
+// arbitrary bytes must never panic the system. Under Repair every batch is
+// accepted (invalid updates dropped and counted) and the surviving state must
+// still verify exactly against a from-scratch solve; under Strict a dirty
+// batch is rejected with a *BatchError and the state stays untouched.
+func FuzzApplyBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 2, 5})
+	f.Add([]byte{1, 0, 0, 1, 0})                                            // delete of an edge
+	f.Add([]byte{0, 255, 255, 255, 128})                                    // out of range, negative weight
+	f.Add([]byte{0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0, 240, 127})                // +Inf weight
+	f.Add([]byte{0, 0, 0, 9, 0, 1, 0, 0, 0, 0, 0, 248, 127, 1, 0, 0, 9, 0}) // NaN weight then delete
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := fuzzBatch(data)
+
+		g := RMAT(RMATConfig{Vertices: 64, Edges: 256, Seed: 11})
+		repair, err := New(g, SSSP(0), WithTiming(false), WithIngest(Repair))
+		if err != nil {
+			t.Fatal(err)
+		}
+		repair.RunInitial()
+		if _, err := repair.ApplyBatch(b); err != nil {
+			t.Fatalf("Repair rejected a batch: %v\nbatch: %+v", err, b)
+		}
+		if d := repair.Verify(); d != 0 {
+			t.Fatalf("Repair state diverged by %v\nbatch: %+v", d, b)
+		}
+
+		strict, err := New(g, SSSP(0), WithTiming(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		strict.RunInitial()
+		before := strict.State()
+		if _, err := strict.ApplyBatch(b); err != nil {
+			var be *BatchError
+			if !errors.As(err, &be) || len(be.Issues) == 0 {
+				t.Fatalf("Strict rejection is not a populated *BatchError: %v", err)
+			}
+			after := strict.State()
+			for i := range before {
+				if before[i] != after[i] {
+					t.Fatalf("Strict rejection mutated state at vertex %d", i)
+				}
+			}
+		}
+		if d := strict.Verify(); d != 0 {
+			t.Fatalf("Strict state diverged by %v\nbatch: %+v", d, b)
+		}
+	})
+}

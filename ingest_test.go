@@ -1,0 +1,105 @@
+package jetstream
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestStateReturnsIsolatedCopy(t *testing.T) {
+	g := RMAT(RMATConfig{Vertices: 200, Edges: 1500, Seed: 41})
+	sys, _ := New(g, SSSP(0), WithTiming(false))
+	sys.RunInitial()
+
+	st := sys.State()
+	for i := range st {
+		st[i] = -1 // scribble over the returned slice
+	}
+	if d := sys.Verify(); d != 0 {
+		t.Errorf("mutating State()'s return corrupted the engine: diverged by %v", d)
+	}
+	// StateRef is the documented zero-copy path: it aliases engine memory.
+	ref := sys.StateRef()
+	again := sys.State()
+	for i := range ref {
+		if ref[i] != again[i] {
+			t.Fatalf("StateRef and State disagree at vertex %d", i)
+		}
+	}
+}
+
+func TestIngestStrictVsRepair(t *testing.T) {
+	g := RMAT(RMATConfig{Vertices: 200, Edges: 1500, Seed: 42})
+	dirty := Batch{Inserts: []Edge{
+		absentEdge(g),
+		{Src: 0, Dst: 9999, Weight: 1},       // out of range
+		{Src: 1, Dst: 2, Weight: math.NaN()}, // poisoned weight
+	}}
+
+	strict, _ := New(g, SSSP(0), WithTiming(false))
+	strict.RunInitial()
+	_, err := strict.ApplyBatch(dirty)
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("strict rejection %v is not a *BatchError", err)
+	}
+	if len(be.Issues) != 2 {
+		t.Errorf("got %d issues, want 2: %v", len(be.Issues), be.Issues)
+	}
+	if n := strict.Graph().NumEdges(); n != g.NumEdges() {
+		t.Errorf("rejected batch changed the graph: %d edges, want %d", n, g.NumEdges())
+	}
+
+	repair, _ := New(g, SSSP(0), WithTiming(false), WithIngest(Repair))
+	repair.RunInitial()
+	res, err := repair.ApplyBatch(dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repaired != 2 {
+		t.Errorf("Repaired = %d, want 2", res.Repaired)
+	}
+	ts := repair.TotalStats()
+	if ts.UpdatesDropped != 2 || ts.BatchesRepaired != 1 {
+		t.Errorf("counters dropped=%d repaired=%d, want 2 and 1", ts.UpdatesDropped, ts.BatchesRepaired)
+	}
+	// The one valid insert landed.
+	if n := repair.Graph().NumEdges(); n != g.NumEdges()+1 {
+		t.Errorf("repaired batch applied %d edges, want %d", n, g.NumEdges()+1)
+	}
+	if d := repair.Verify(); d != 0 {
+		t.Errorf("repaired system diverged by %v", d)
+	}
+}
+
+func TestWatchdogThroughPublicAPI(t *testing.T) {
+	g := RMAT(RMATConfig{Vertices: 200, Edges: 1500, Seed: 43})
+	sys, err := New(g, SSSP(0), WithTiming(false), WithWatchdog(WatchdogConfig{Every: 2, Sample: 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RunInitial()
+	gen := NewStream(StreamConfig{BatchSize: 30, InsertFrac: 0.6, Seed: 44})
+
+	r1, err := sys.ApplyBatch(gen.Next(sys.Graph()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Checked {
+		t.Error("watchdog ran on batch 1 at Every=2")
+	}
+	r2, err := sys.ApplyBatch(gen.Next(sys.Graph()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Checked {
+		t.Fatal("watchdog skipped batch 2 at Every=2")
+	}
+	// A healthy incremental stream shows zero divergence and no fallback.
+	if r2.Divergence != 0 || r2.FellBack {
+		t.Errorf("healthy stream: divergence %v, fellBack %v", r2.Divergence, r2.FellBack)
+	}
+	if sys.TotalStats().ColdStartFallbacks != 0 {
+		t.Errorf("healthy stream counted %d fallbacks", sys.TotalStats().ColdStartFallbacks)
+	}
+}

@@ -303,6 +303,36 @@ func New(name string, root graph.VertexID, eps float64) (Algorithm, error) {
 	}
 }
 
+// Params extracts the constructor arguments that rebuild a via New — the
+// algorithm identity a checkpoint serializes. Kernels New cannot reconstruct
+// exactly (LinSolve's coefficient matrix, caller-customized constants,
+// user-defined Algorithm implementations) return an error; their sessions are
+// not checkpointable.
+func Params(a Algorithm) (name string, root graph.VertexID, eps float64, err error) {
+	switch k := a.(type) {
+	case *SSSP:
+		return k.Name(), k.Root, 0, nil
+	case *SSWP:
+		return k.Name(), k.Root, 0, nil
+	case *BFS:
+		return k.Name(), k.Root, 0, nil
+	case *CC:
+		return k.Name(), 0, 0, nil
+	case *PageRank:
+		if k.Alpha != 0.15 {
+			return "", 0, 0, fmt.Errorf("algo: pagerank with non-default alpha %v is not reconstructible", k.Alpha)
+		}
+		return k.Name(), 0, k.Eps, nil
+	case *Adsorption:
+		if k.Inj != 0.15 || k.Cont != 0.85 {
+			return "", 0, 0, fmt.Errorf("algo: adsorption with non-default constants is not reconstructible")
+		}
+		return k.Name(), 0, k.Eps, nil
+	default:
+		return "", 0, 0, fmt.Errorf("algo: %s is not reconstructible by name", a.Name())
+	}
+}
+
 // Names lists the paper's Table 3 workloads in row order. The extension
 // kernel "linsolve" is registered with New but not part of the evaluation
 // grid.

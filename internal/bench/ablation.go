@@ -34,11 +34,22 @@ type AblationResult struct{ Rows []AblationRow }
 //     two-phase negate-then-reinsert flow of Algorithm 6;
 //   - the DAP recovery optimization: replaced by the base tagging scheme
 //     (also visible in Fig 12, repeated here for one workload).
-func (r *Runner) Ablations() *AblationResult {
+func (r *Runner) Ablations() (*AblationResult, error) {
 	out := &AblationResult{}
-	measure := func(algName string, cfg core.Config, bs []graph.Batch) (cycles, events float64) {
-		jr := r.runJetStreamCfg(r.workloadGraph(algName), r.algorithm(algName), cfg, bs)
-		return jr.cycles, float64(jr.eventsTotal)
+	measure := func(algName string, cfg core.Config, bs []graph.Batch) (cycles, events float64, err error) {
+		g, err := r.workloadGraph(algName)
+		if err != nil {
+			return 0, 0, err
+		}
+		a, err := r.algorithm(algName)
+		if err != nil {
+			return 0, 0, err
+		}
+		jr, err := r.runJetStreamCfg(g, a, cfg, bs)
+		if err != nil {
+			return 0, 0, err
+		}
+		return jr.cycles, float64(jr.eventsTotal), nil
 	}
 
 	// Selective: SSSP. (No-coalescing is not measurable here: without the
@@ -46,37 +57,64 @@ func (r *Runner) Ablations() *AblationResult {
 	// enumerating every path in the graph — the unbounded cost is the very
 	// reason the coalescing queue exists, §4.2.)
 	{
-		g := r.workloadGraph("sssp")
-		bs := r.batches(g, r.nBatches(), r.batchSize(g, 100_000), 0.7, false, 0)
-		fullC, fullE := measure("sssp", core.ConfigWithOpt(core.OptDAP), bs)
+		g, err := r.workloadGraph("sssp")
+		if err != nil {
+			return nil, err
+		}
+		bs, err := r.batches(g, r.nBatches(), r.batchSize(g, 100_000), 0.7, false, 0)
+		if err != nil {
+			return nil, err
+		}
+		fullC, fullE, err := measure("sssp", core.ConfigWithOpt(core.OptDAP), bs)
+		if err != nil {
+			return nil, err
+		}
 
-		c, e := measure("sssp", core.ConfigWithOpt(core.OptBase), bs)
+		c, e, err := measure("sssp", core.ConfigWithOpt(core.OptBase), bs)
+		if err != nil {
+			return nil, err
+		}
 		out.Rows = append(out.Rows, AblationRow{"base tagging (no DAP)", "sssp", c / fullC, e / fullE})
 	}
 
 	// Accumulative: PageRank.
 	{
-		g := r.workloadGraph("pagerank")
-		bs := r.batches(g, r.nBatches(), r.batchSize(g, 100_000), 0.7, false, 0)
-		fullC, fullE := measure("pagerank", core.ConfigWithOpt(core.OptDAP), bs)
+		g, err := r.workloadGraph("pagerank")
+		if err != nil {
+			return nil, err
+		}
+		bs, err := r.batches(g, r.nBatches(), r.batchSize(g, 100_000), 0.7, false, 0)
+		if err != nil {
+			return nil, err
+		}
+		fullC, fullE, err := measure("pagerank", core.ConfigWithOpt(core.OptDAP), bs)
+		if err != nil {
+			return nil, err
+		}
 
 		noCo := core.ConfigWithOpt(core.OptDAP)
 		noCo.NoCoalesce = true
-		c, e := measure("pagerank", noCo, bs)
+		c, e, err := measure("pagerank", noCo, bs)
+		if err != nil {
+			return nil, err
+		}
 		out.Rows = append(out.Rows, AblationRow{"no event coalescing", "pagerank", c / fullC, e / fullE})
 
 		two := core.ConfigWithOpt(core.OptDAP)
 		two.TwoPhaseAccumulate = true
-		c, e = measure("pagerank", two, bs)
+		c, e, err = measure("pagerank", two, bs)
+		if err != nil {
+			return nil, err
+		}
 		out.Rows = append(out.Rows, AblationRow{"literal two-phase rollback", "pagerank", c / fullC, e / fullE})
 	}
-	return out
+	return out, nil
 }
 
 // workloadGraph returns the LJ variant for the algorithm.
-func (r *Runner) workloadGraph(algName string) *graph.CSR {
-	g, _ := r.workload("LJ", algName)
-	return g
+func (r *Runner) workloadGraph(algName string) (*graph.CSR, error) {
+	g, _, err := r.workload("LJ", algName)
+	return g, err
 }
 
 func (a *AblationResult) String() string {

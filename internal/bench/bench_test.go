@@ -19,7 +19,10 @@ func TestTable1And2Render(t *testing.T) {
 			t.Errorf("Table1 missing %q", want)
 		}
 	}
-	t2 := r.Table2()
+	t2, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, ds := range DatasetNames {
 		if !strings.Contains(t2, ds) {
 			t.Errorf("Table2 missing %s", ds)
@@ -32,7 +35,10 @@ func TestTable3Shapes(t *testing.T) {
 		t.Skip("full grid")
 	}
 	r := quickRunner()
-	res := r.Table3()
+	res, err := r.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Cells) != 6*len(DatasetNames) {
 		t.Fatalf("got %d cells", len(res.Cells))
 	}
@@ -84,7 +90,10 @@ func TestFig9Shapes(t *testing.T) {
 		t.Skip("full grid")
 	}
 	r := quickRunner()
-	res := r.Fig9()
+	res, err := r.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
 	below, vsum := 0, 0.0
 	for _, c := range res.Cells {
 		if c.VertexRatio <= 0 || c.EdgeRatio <= 0 {
@@ -111,7 +120,10 @@ func TestFig10Shapes(t *testing.T) {
 		t.Skip("full grid")
 	}
 	r := quickRunner()
-	res := r.Fig10()
+	res, err := r.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var jsMore, ksMore int
 	for _, c := range res.Cells {
 		if c.JetResets <= c.KSResets {
@@ -134,7 +146,10 @@ func TestFig11Shapes(t *testing.T) {
 		t.Skip("full grid")
 	}
 	r := quickRunner()
-	res := r.Fig11()
+	res, err := r.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var jetBetter int
 	for _, c := range res.Cells {
 		if c.JetUtil <= 0 || c.GPUtil <= 0 || c.JetUtil > 1 || c.GPUtil > 1 {
@@ -157,7 +172,10 @@ func TestFig12Shapes(t *testing.T) {
 		t.Skip("full grid")
 	}
 	r := quickRunner()
-	res := r.Fig12()
+	res, err := r.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, c := range res.Cells {
 		if c.DAP <= 0 || c.VAP <= 0 || c.Base <= 0 {
 			t.Fatalf("%s/%s: non-positive speedups", c.Dataset, c.Algo)
@@ -186,7 +204,10 @@ func TestFig13Shapes(t *testing.T) {
 		t.Skip("full grid")
 	}
 	r := quickRunner()
-	res := r.Fig13()
+	res, err := r.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Series) != 2 {
 		t.Fatalf("want sssp+pagerank series, got %d", len(res.Series))
 	}
@@ -218,7 +239,10 @@ func TestFig14Shapes(t *testing.T) {
 		t.Skip("full grid")
 	}
 	r := quickRunner()
-	res := r.Fig14()
+	res, err := r.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, s := range res.Series {
 		var ins, del float64
 		for _, p := range s.Points {
@@ -252,7 +276,10 @@ func TestAblationShapes(t *testing.T) {
 		t.Skip("full grid")
 	}
 	r := quickRunner()
-	res := r.Ablations()
+	res, err := r.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) != 3 {
 		t.Fatalf("got %d ablation rows", len(res.Rows))
 	}

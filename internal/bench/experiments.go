@@ -49,7 +49,7 @@ func (r *Runner) Table1() string {
 // ---------------------------------------------------------------------------
 
 // Table2 renders the scaled workload inventory with measured structure.
-func (r *Runner) Table2() string {
+func (r *Runner) Table2() (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 2: input graphs (synthetic stand-ins; %s)\n", ScaleNote)
 	fmt.Fprintf(&b, "%-6s %10s %10s %8s %8s  %s\n", "Graph", "Nodes", "Edges", "Depth", "MaxDeg", "Topology class")
@@ -61,12 +61,15 @@ func (r *Runner) Table2() string {
 		"TW": "social: largest, heavy tail",
 	}
 	for _, name := range DatasetNames {
-		g := r.dataset(name)
+		g, err := r.dataset(name)
+		if err != nil {
+			return "", err
+		}
 		st := graph.ComputeStats(g)
 		fmt.Fprintf(&b, "%-6s %10d %10d %8d %8d  %s\n",
 			name, g.NumVertices(), g.NumEdges(), st.EstimatedDepth, st.MaxOutDegree, desc[name])
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 // ---------------------------------------------------------------------------
@@ -90,16 +93,42 @@ type Table3Result struct {
 // Table3 reproduces the headline comparison: per-batch execution time for
 // batches of the scaled 100K-update size (70% insert / 30% delete), with
 // speedups over cold-start GraphPulse and the software frameworks.
-func (r *Runner) Table3() *Table3Result {
+func (r *Runner) Table3() (*Table3Result, error) {
 	out := &Table3Result{}
 	for _, algName := range append(append([]string{}, SelectiveAlgos...), AccumulativeAlgos...) {
 		for _, ds := range DatasetNames {
-			a := r.algorithm(algName)
-			g, sym := r.workload(ds, algName)
-			bs := r.batches(g, r.nBatches(), r.batchSize(g, 100_000), 0.7, sym, r.insertLocality(ds))
-			jet := r.runJetStream(g, a, core.OptDAP, bs)
-			gp := r.runGraphPulseCold(g, r.algorithm(algName), bs)
-			swMS, _ := r.runSoftware(g, r.algorithm(algName), bs)
+			a, err := r.algorithm(algName)
+			if err != nil {
+				return nil, err
+			}
+			g, sym, err := r.workload(ds, algName)
+			if err != nil {
+				return nil, err
+			}
+			bs, err := r.batches(g, r.nBatches(), r.batchSize(g, 100_000), 0.7, sym, r.insertLocality(ds))
+			if err != nil {
+				return nil, err
+			}
+			jet, err := r.runJetStream(g, a, core.OptDAP, bs)
+			if err != nil {
+				return nil, err
+			}
+			a2, err := r.algorithm(algName)
+			if err != nil {
+				return nil, err
+			}
+			gp, err := r.runGraphPulseCold(g, a2, bs)
+			if err != nil {
+				return nil, err
+			}
+			a3, err := r.algorithm(algName)
+			if err != nil {
+				return nil, err
+			}
+			swMS, _, err := r.runSoftware(g, a3, bs)
+			if err != nil {
+				return nil, err
+			}
 			swName := "KS"
 			if algName == "pagerank" || algName == "adsorption" {
 				swName = "GB"
@@ -113,7 +142,7 @@ func (r *Runner) Table3() *Table3Result {
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // GeoMeans returns per-algorithm geometric-mean speedups (GP, SW).
@@ -180,15 +209,34 @@ type Fig9Result struct{ Cells []Fig9Cell }
 
 // Fig9 measures JetStream's per-batch vertex/edge accesses relative to a
 // cold-start GraphPulse recomputation of the same batch.
-func (r *Runner) Fig9() *Fig9Result {
+func (r *Runner) Fig9() (*Fig9Result, error) {
 	out := &Fig9Result{}
 	for _, algName := range []string{"sswp", "sssp", "bfs", "cc", "pagerank"} {
 		for _, ds := range []string{"FB", "WK", "LJ", "UK"} {
-			a := r.algorithm(algName)
-			g, sym := r.workload(ds, algName)
-			bs := r.batches(g, r.nBatches(), r.batchSize(g, 100_000), 0.7, sym, r.insertLocality(ds))
-			jet := r.runJetStream(g, a, core.OptDAP, bs)
-			gp := r.runGraphPulseCold(g, r.algorithm(algName), bs)
+			a, err := r.algorithm(algName)
+			if err != nil {
+				return nil, err
+			}
+			g, sym, err := r.workload(ds, algName)
+			if err != nil {
+				return nil, err
+			}
+			bs, err := r.batches(g, r.nBatches(), r.batchSize(g, 100_000), 0.7, sym, r.insertLocality(ds))
+			if err != nil {
+				return nil, err
+			}
+			jet, err := r.runJetStream(g, a, core.OptDAP, bs)
+			if err != nil {
+				return nil, err
+			}
+			a2, err := r.algorithm(algName)
+			if err != nil {
+				return nil, err
+			}
+			gp, err := r.runGraphPulseCold(g, a2, bs)
+			if err != nil {
+				return nil, err
+			}
 			n := uint64(len(bs))
 			out.Cells = append(out.Cells, Fig9Cell{
 				Algo: algName, Dataset: ds,
@@ -197,7 +245,7 @@ func (r *Runner) Fig9() *Fig9Result {
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 func (f *Fig9Result) String() string {
@@ -225,22 +273,41 @@ type Fig10Result struct{ Cells []Fig10Cell }
 
 // Fig10 counts vertices reset by the scaled 30K-deletion batch in JetStream
 // (DAP) and KickStarter.
-func (r *Runner) Fig10() *Fig10Result {
+func (r *Runner) Fig10() (*Fig10Result, error) {
 	out := &Fig10Result{}
 	for _, algName := range SelectiveAlgos {
 		for _, ds := range DatasetNames {
-			a := r.algorithm(algName)
-			g, sym := r.workload(ds, algName)
-			bs := r.batches(g, 1, r.batchSize(g, 30_000), 0, sym, r.insertLocality(ds)) // deletions only
-			jet := r.runJetStream(g, a, core.OptDAP, bs)
-			_, ksResets := r.runSoftware(g, r.algorithm(algName), bs)
+			a, err := r.algorithm(algName)
+			if err != nil {
+				return nil, err
+			}
+			g, sym, err := r.workload(ds, algName)
+			if err != nil {
+				return nil, err
+			}
+			bs, err := r.batches(g, 1, r.batchSize(g, 30_000), 0, sym, r.insertLocality(ds)) // deletions only
+			if err != nil {
+				return nil, err
+			}
+			jet, err := r.runJetStream(g, a, core.OptDAP, bs)
+			if err != nil {
+				return nil, err
+			}
+			a2, err := r.algorithm(algName)
+			if err != nil {
+				return nil, err
+			}
+			_, ksResets, err := r.runSoftware(g, a2, bs)
+			if err != nil {
+				return nil, err
+			}
 			out.Cells = append(out.Cells, Fig10Cell{
 				Algo: algName, Dataset: ds,
 				JetResets: jet.resets, KSResets: uint64(ksResets),
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 func (f *Fig10Result) String() string {
@@ -269,22 +336,41 @@ type Fig11Result struct{ Cells []Fig11Cell }
 // Fig11 measures the ratio of bytes consumed by the compute engines to bytes
 // transferred from DRAM, for JetStream streaming batches vs GraphPulse cold
 // starts.
-func (r *Runner) Fig11() *Fig11Result {
+func (r *Runner) Fig11() (*Fig11Result, error) {
 	out := &Fig11Result{}
 	for _, algName := range []string{"pagerank", "sswp", "sssp", "bfs", "cc"} {
 		for _, ds := range DatasetNames {
-			a := r.algorithm(algName)
-			g, sym := r.workload(ds, algName)
-			bs := r.batches(g, 1, r.batchSize(g, 100_000), 0.7, sym, r.insertLocality(ds))
-			jet := r.runJetStream(g, a, core.OptDAP, bs)
-			gp := r.runGraphPulseCold(g, r.algorithm(algName), bs)
+			a, err := r.algorithm(algName)
+			if err != nil {
+				return nil, err
+			}
+			g, sym, err := r.workload(ds, algName)
+			if err != nil {
+				return nil, err
+			}
+			bs, err := r.batches(g, 1, r.batchSize(g, 100_000), 0.7, sym, r.insertLocality(ds))
+			if err != nil {
+				return nil, err
+			}
+			jet, err := r.runJetStream(g, a, core.OptDAP, bs)
+			if err != nil {
+				return nil, err
+			}
+			a2, err := r.algorithm(algName)
+			if err != nil {
+				return nil, err
+			}
+			gp, err := r.runGraphPulseCold(g, a2, bs)
+			if err != nil {
+				return nil, err
+			}
 			out.Cells = append(out.Cells, Fig11Cell{
 				Algo: algName, Dataset: ds,
 				JetUtil: jet.memUtil, GPUtil: gp.memUtil,
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 func (f *Fig11Result) String() string {
@@ -311,22 +397,49 @@ type Fig12Cell struct {
 type Fig12Result struct{ Cells []Fig12Cell }
 
 // Fig12 sweeps the optimization levels on LiveJournal and UK-2002.
-func (r *Runner) Fig12() *Fig12Result {
+func (r *Runner) Fig12() (*Fig12Result, error) {
 	out := &Fig12Result{}
 	for _, ds := range []string{"LJ", "UK"} {
 		for _, algName := range SelectiveAlgos {
-			a := r.algorithm(algName)
-			g, sym := r.workload(ds, algName)
-			bs := r.batches(g, r.nBatches(), r.batchSize(g, 100_000), 0.7, sym, r.insertLocality(ds))
-			gp := r.runGraphPulseCold(g, r.algorithm(algName), bs)
+			g, sym, err := r.workload(ds, algName)
+			if err != nil {
+				return nil, err
+			}
+			bs, err := r.batches(g, r.nBatches(), r.batchSize(g, 100_000), 0.7, sym, r.insertLocality(ds))
+			if err != nil {
+				return nil, err
+			}
+			aGP, err := r.algorithm(algName)
+			if err != nil {
+				return nil, err
+			}
+			gp, err := r.runGraphPulseCold(g, aGP, bs)
+			if err != nil {
+				return nil, err
+			}
 			cell := Fig12Cell{Algo: algName, Dataset: ds}
-			cell.Base = gp.msPerBatch / r.runJetStream(g, a, core.OptBase, bs).msPerBatch
-			cell.VAP = gp.msPerBatch / r.runJetStream(g, r.algorithm(algName), core.OptVAP, bs).msPerBatch
-			cell.DAP = gp.msPerBatch / r.runJetStream(g, r.algorithm(algName), core.OptDAP, bs).msPerBatch
+			for _, lvl := range []struct {
+				opt  core.OptLevel
+				dest *float64
+			}{
+				{core.OptBase, &cell.Base},
+				{core.OptVAP, &cell.VAP},
+				{core.OptDAP, &cell.DAP},
+			} {
+				a, err := r.algorithm(algName)
+				if err != nil {
+					return nil, err
+				}
+				jet, err := r.runJetStream(g, a, lvl.opt, bs)
+				if err != nil {
+					return nil, err
+				}
+				*lvl.dest = gp.msPerBatch / jet.msPerBatch
+			}
 			out.Cells = append(out.Cells, cell)
 		}
 	}
-	return out
+	return out, nil
 }
 
 func (f *Fig12Result) String() string {
@@ -363,12 +476,18 @@ type Fig13Result struct{ Series []Fig13Series }
 // Fig13 sweeps batch sizes (paper scale 100..100K -> ours 1..1000) on LJ;
 // each point is normalized to JetStream's per-batch time at the baseline
 // batch size, mirroring the paper's y-axis.
-func (r *Runner) Fig13() *Fig13Result {
+func (r *Runner) Fig13() (*Fig13Result, error) {
 	paperSizes := []int{100_000, 10_000, 1_000, 100}
 	out := &Fig13Result{}
 	for _, algName := range []string{"sssp", "pagerank"} {
-		a := r.algorithm(algName)
-		g, sym := r.workload("LJ", algName)
+		a, err := r.algorithm(algName)
+		if err != nil {
+			return nil, err
+		}
+		g, sym, err := r.workload("LJ", algName)
+		if err != nil {
+			return nil, err
+		}
 		ser := Fig13Series{Algo: algName, SWName: "KS"}
 		if a.Class() == algo.Accumulative {
 			ser.SWName = "GB"
@@ -381,9 +500,26 @@ func (r *Runner) Fig13() *Fig13Result {
 				continue // scaled sizes collapsed; skip duplicates
 			}
 			seen[size] = true
-			bs := r.batches(g, 1, size, 0.7, sym, 0)
-			jet := r.runJetStream(g, r.algorithm(algName), core.OptDAP, bs)
-			swMS, _ := r.runSoftware(g, r.algorithm(algName), bs)
+			bs, err := r.batches(g, 1, size, 0.7, sym, 0)
+			if err != nil {
+				return nil, err
+			}
+			aj, err := r.algorithm(algName)
+			if err != nil {
+				return nil, err
+			}
+			jet, err := r.runJetStream(g, aj, core.OptDAP, bs)
+			if err != nil {
+				return nil, err
+			}
+			asw, err := r.algorithm(algName)
+			if err != nil {
+				return nil, err
+			}
+			swMS, _, err := r.runSoftware(g, asw, bs)
+			if err != nil {
+				return nil, err
+			}
 			if i == 0 {
 				jetBaseline = jet.msPerBatch
 			}
@@ -395,7 +531,7 @@ func (r *Runner) Fig13() *Fig13Result {
 		}
 		out.Series = append(out.Series, ser)
 	}
-	return out
+	return out, nil
 }
 
 func (f *Fig13Result) String() string {
@@ -430,10 +566,13 @@ type Fig14Series struct {
 type Fig14Result struct{ Series []Fig14Series }
 
 // Fig14 sweeps the batch composition 100:0 / 50:50 / 0:100 on LJ.
-func (r *Runner) Fig14() *Fig14Result {
+func (r *Runner) Fig14() (*Fig14Result, error) {
 	out := &Fig14Result{}
 	for _, algName := range []string{"sssp", "cc"} {
-		g, sym := r.workload("LJ", algName)
+		g, sym, err := r.workload("LJ", algName)
+		if err != nil {
+			return nil, err
+		}
 		size := r.batchSize(g, 100_000)
 		ser := Fig14Series{Algo: algName}
 		var jetBase, ksBase float64
@@ -441,9 +580,26 @@ func (r *Runner) Fig14() *Fig14Result {
 		var ms []meas
 		fracs := []float64{1.0, 0.5, 0.0}
 		for _, frac := range fracs {
-			bs := r.batches(g, 1, size, frac, sym, 0)
-			jet := r.runJetStream(g, r.algorithm(algName), core.OptDAP, bs)
-			swMS, _ := r.runSoftware(g, r.algorithm(algName), bs)
+			bs, err := r.batches(g, 1, size, frac, sym, 0)
+			if err != nil {
+				return nil, err
+			}
+			aj, err := r.algorithm(algName)
+			if err != nil {
+				return nil, err
+			}
+			jet, err := r.runJetStream(g, aj, core.OptDAP, bs)
+			if err != nil {
+				return nil, err
+			}
+			asw, err := r.algorithm(algName)
+			if err != nil {
+				return nil, err
+			}
+			swMS, _, err := r.runSoftware(g, asw, bs)
+			if err != nil {
+				return nil, err
+			}
 			ms = append(ms, meas{jet.msPerBatch, swMS})
 			if frac == 0.5 {
 				jetBase, ksBase = jet.msPerBatch, swMS
@@ -458,7 +614,7 @@ func (r *Runner) Fig14() *Fig14Result {
 		}
 		out.Series = append(out.Series, ser)
 	}
-	return out
+	return out, nil
 }
 
 func (f *Fig14Result) String() string {

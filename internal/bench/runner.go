@@ -58,10 +58,10 @@ func NewRunner(quick bool) *Runner {
 
 // quickDatasets mirrors Table 2's topology classes at one-tenth the default
 // harness scale.
-func (r *Runner) dataset(name string) *graph.CSR {
+func (r *Runner) dataset(name string) (*graph.CSR, error) {
 	key := name
 	if g, ok := r.graphs[key]; ok {
-		return g
+		return g, nil
 	}
 	var g *graph.CSR
 	if r.Quick {
@@ -77,37 +77,43 @@ func (r *Runner) dataset(name string) *graph.CSR {
 		case "TW":
 			g = graph.RMAT(graph.RMATConfig{Vertices: 8000, Edges: 110000, A: 0.6, B: 0.18, C: 0.18, Seed: r.Seed})
 		default:
-			panic("bench: unknown dataset " + name)
+			return nil, fmt.Errorf("bench: unknown dataset %q", name)
 		}
 	} else {
 		d, err := graph.DatasetByName(name)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		g = d.Build(r.Seed)
 	}
 	r.graphs[key] = g
-	return g
+	return g, nil
 }
 
 // symmetric returns the symmetrized variant (cached separately).
-func (r *Runner) symmetric(name string) *graph.CSR {
+func (r *Runner) symmetric(name string) (*graph.CSR, error) {
 	key := name + "/sym"
 	if g, ok := r.graphs[key]; ok {
-		return g
+		return g, nil
 	}
-	g := graph.Symmetrize(r.dataset(name))
+	base, err := r.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.Symmetrize(base)
 	r.graphs[key] = g
-	return g
+	return g, nil
 }
 
 // workload returns the dataset prepared for the algorithm (symmetrized for
 // CC) plus the matching stream symmetry flag.
-func (r *Runner) workload(dataset, algName string) (*graph.CSR, bool) {
+func (r *Runner) workload(dataset, algName string) (*graph.CSR, bool, error) {
 	if algName == "cc" {
-		return r.symmetric(dataset), true
+		g, err := r.symmetric(dataset)
+		return g, true, err
 	}
-	return r.dataset(dataset), false
+	g, err := r.dataset(dataset)
+	return g, false, err
 }
 
 // insertLocality returns the stream generator's insertion locality for the
@@ -120,12 +126,8 @@ func (r *Runner) insertLocality(dataset string) int {
 	return 0
 }
 
-func (r *Runner) algorithm(name string) algo.Algorithm {
-	a, err := algo.New(name, 0, r.Eps)
-	if err != nil {
-		panic(err)
-	}
-	return a
+func (r *Runner) algorithm(name string) (algo.Algorithm, error) {
+	return algo.New(name, 0, r.Eps)
 }
 
 // batchSize returns the scaled equivalent of a paper batch size against g:
@@ -141,7 +143,7 @@ func (r *Runner) batchSize(g *graph.CSR, paper int) int {
 
 // batches pre-generates n consecutive valid batches (and the intermediate
 // graph versions) so every system replays the identical update stream.
-func (r *Runner) batches(g *graph.CSR, n, size int, insertFrac float64, symmetric bool, locality int) []graph.Batch {
+func (r *Runner) batches(g *graph.CSR, n, size int, insertFrac float64, symmetric bool, locality int) ([]graph.Batch, error) {
 	gen := stream.NewGenerator(stream.Config{
 		BatchSize: size, InsertFrac: insertFrac, Symmetric: symmetric,
 		Locality: locality, Seed: r.Seed ^ 0x5f5f,
@@ -151,9 +153,13 @@ func (r *Runner) batches(g *graph.CSR, n, size int, insertFrac float64, symmetri
 	for i := 0; i < n; i++ {
 		b := gen.Next(cur)
 		out = append(out, b)
-		cur = cur.MustApply(b)
+		ng, err := cur.Apply(b)
+		if err != nil {
+			return nil, fmt.Errorf("bench: generated batch %d does not apply: %w", i, err)
+		}
+		cur = ng
 	}
-	return out
+	return out, nil
 }
 
 // jetResult is one streaming measurement.
@@ -170,13 +176,13 @@ type jetResult struct {
 }
 
 // runJetStream replays the batch sequence through a JetStream instance.
-func (r *Runner) runJetStream(g *graph.CSR, a algo.Algorithm, opt core.OptLevel, bs []graph.Batch) jetResult {
+func (r *Runner) runJetStream(g *graph.CSR, a algo.Algorithm, opt core.OptLevel, bs []graph.Batch) (jetResult, error) {
 	return r.runJetStreamCfg(g, a, core.ConfigWithOpt(opt), bs)
 }
 
 // runJetStreamCfg replays the batch sequence under an explicit configuration
 // (the ablation sweeps use it to switch mechanisms off).
-func (r *Runner) runJetStreamCfg(g *graph.CSR, a algo.Algorithm, cfg core.Config, bs []graph.Batch) jetResult {
+func (r *Runner) runJetStreamCfg(g *graph.CSR, a algo.Algorithm, cfg core.Config, bs []graph.Batch) (jetResult, error) {
 	st := &stats.Counters{}
 	js := core.New(g, a, cfg, st)
 	js.RunInitial()
@@ -188,7 +194,7 @@ func (r *Runner) runJetStreamCfg(g *graph.CSR, a algo.Algorithm, cfg core.Config
 	res.initMS = cfg.Engine.CyclesToSeconds(initCycles) * 1e3
 	for _, b := range bs {
 		if err := js.ApplyBatch(b); err != nil {
-			panic(err)
+			return jetResult{}, err
 		}
 		cyc := js.Cycles() - prevCycles
 		prevCycles = js.Cycles()
@@ -211,7 +217,7 @@ func (r *Runner) runJetStreamCfg(g *graph.CSR, a algo.Algorithm, cfg core.Config
 	}
 	res.msPerBatch /= float64(len(res.perBatch))
 	res.cycles = float64(js.Cycles()-initCycles) / float64(len(bs))
-	return res
+	return res, nil
 }
 
 // gpResult measures cold-start GraphPulse recomputation after each batch.
@@ -224,7 +230,7 @@ type gpResult struct {
 
 // runGraphPulseCold recomputes from scratch on each post-batch graph version
 // with GraphPulse-configured hardware (the paper's cold-start comparator).
-func (r *Runner) runGraphPulseCold(g *graph.CSR, a algo.Algorithm, bs []graph.Batch) gpResult {
+func (r *Runner) runGraphPulseCold(g *graph.CSR, a algo.Algorithm, bs []graph.Batch) (gpResult, error) {
 	cfg := engine.DefaultConfig()
 	cfg.EventMode = event.ModeGraphPulse
 	cur := g
@@ -232,7 +238,11 @@ func (r *Runner) runGraphPulseCold(g *graph.CSR, a algo.Algorithm, bs []graph.Ba
 	var totalCycles uint64
 	var used, moved uint64
 	for _, b := range bs {
-		cur = cur.MustApply(b)
+		next, err := cur.Apply(b)
+		if err != nil {
+			return gpResult{}, err
+		}
+		cur = next
 		st := &stats.Counters{}
 		e := engine.New(cur, a, cfg, st)
 		e.RunToConvergence()
@@ -252,24 +262,24 @@ func (r *Runner) runGraphPulseCold(g *graph.CSR, a algo.Algorithm, bs []graph.Ba
 			out.memUtil = 1
 		}
 	}
-	return out
+	return out, nil
 }
 
 // runSoftware replays the batches through KickStarter (selective) or
 // GraphBolt (accumulative); returns mean ms per batch and total resets.
-func (r *Runner) runSoftware(g *graph.CSR, a algo.Algorithm, bs []graph.Batch) (msPerBatch float64, resets int) {
+func (r *Runner) runSoftware(g *graph.CSR, a algo.Algorithm, bs []graph.Batch) (msPerBatch float64, resets int, err error) {
 	cpu := sw.DefaultCPUConfig().ScaleSerial(workloadScale)
 	var total float64
 	if a.Class() == algo.Selective {
 		k, err := sw.NewKickStarter(g, a, cpu)
 		if err != nil {
-			panic(err)
+			return 0, 0, err
 		}
 		k.RunInitial()
 		for _, b := range bs {
 			sec, err := k.ApplyBatch(b)
 			if err != nil {
-				panic(err)
+				return 0, 0, err
 			}
 			total += sec
 			resets += k.LastResets
@@ -277,18 +287,18 @@ func (r *Runner) runSoftware(g *graph.CSR, a algo.Algorithm, bs []graph.Batch) (
 	} else {
 		gb, err := sw.NewGraphBolt(g, a, cpu)
 		if err != nil {
-			panic(err)
+			return 0, 0, err
 		}
 		gb.RunInitial()
 		for _, b := range bs {
 			sec, err := gb.ApplyBatch(b)
 			if err != nil {
-				panic(err)
+				return 0, 0, err
 			}
 			total += sec
 		}
 	}
-	return total * 1e3 / float64(len(bs)), resets
+	return total * 1e3 / float64(len(bs)), resets, nil
 }
 
 // nBatches is how many batches each measurement averages over. Reset-set

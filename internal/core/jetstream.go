@@ -116,6 +116,11 @@ type JetStream struct {
 	// impact is the Impact Buffer (§4.5): ids of vertices reset during the
 	// current recovery phase, revisited to issue request events.
 	impact []graph.VertexID
+
+	// cycleBase offsets the engine's cycle counter; a restored checkpoint
+	// sets it to the cycles accumulated before the process died so cumulative
+	// totals continue across restarts.
+	cycleBase uint64
 }
 
 // New builds a JetStream instance for query alg over initial graph g. st may
@@ -169,8 +174,12 @@ func (j *JetStream) State() []float64 { return j.eng.State() }
 // Stats returns the counter sink.
 func (j *JetStream) Stats() *stats.Counters { return j.st }
 
-// Cycles returns the accumulated accelerator cycles.
-func (j *JetStream) Cycles() uint64 { return j.eng.Cycles() }
+// Cycles returns the accumulated accelerator cycles (including any base
+// carried over from a restored checkpoint).
+func (j *JetStream) Cycles() uint64 { return j.cycleBase + j.eng.Cycles() }
+
+// SetCycleBase sets the cycle offset carried over from a checkpoint.
+func (j *JetStream) SetCycleBase(c uint64) { j.cycleBase = c }
 
 // Engine exposes the underlying engine (used by the experiment harness).
 func (j *JetStream) Engine() *engine.Engine { return j.eng }
@@ -592,6 +601,81 @@ func (j *JetStream) Repartition() int { return j.eng.Repartition() }
 func (j *JetStream) Verify() float64 {
 	ref := algo.Reference(j.alg, j.g)
 	return algo.MaxAbsDiff(j.State(), ref)
+}
+
+// VerifySample is Verify restricted to a deterministic stride sample of
+// roughly sample vertices (sample <= 0 compares all). The reference solve
+// still covers the whole graph — sampling bounds only the state read-back and
+// comparison, the part that would otherwise stall the accelerator pipeline.
+func (j *JetStream) VerifySample(sample int) float64 {
+	ref := algo.Reference(j.alg, j.g)
+	st := j.State()
+	if sample <= 0 || sample >= len(st) {
+		return algo.MaxAbsDiff(st, ref)
+	}
+	stride := len(st) / sample
+	if stride < 1 {
+		stride = 1
+	}
+	max := 0.0
+	for i := 0; i < len(st); i += stride {
+		if math.IsInf(st[i], 0) || math.IsInf(ref[i], 0) {
+			if st[i] != ref[i] {
+				return math.Inf(1)
+			}
+			continue
+		}
+		if d := math.Abs(st[i] - ref[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// ColdStart abandons the incremental approximation and recomputes the query
+// from scratch on the current graph version — the GraphPulse cold-start
+// baseline (§4.6.1) used here as the recovery of last resort when the
+// incremental state is no longer trustworthy. The fallback is counted in the
+// stats sink; afterwards the stream resumes incrementally as usual.
+func (j *JetStream) ColdStart() {
+	j.st.ColdStartFallbacks++
+	j.eng.SetGraph(j.g, nil)
+	j.eng.RunToConvergence()
+}
+
+// WatchdogConfig parameterizes the divergence watchdog: every Every batches
+// the streaming state is checked against a from-scratch solve, and a
+// deviation beyond Epsilon triggers a ColdStart fallback.
+type WatchdogConfig struct {
+	// Every is the check period in batches; <= 0 disables the watchdog.
+	Every int
+	// Epsilon is the maximum tolerated deviation. Selective (monotonic)
+	// kernels converge exactly, so 0 is sound for them; accumulative kernels
+	// accumulate suppressed sub-epsilon deltas (see Tolerance).
+	Epsilon float64
+	// Sample bounds how many vertices each check compares (0 = all).
+	Sample int
+}
+
+// Enabled reports whether the watchdog performs any checks.
+func (cfg WatchdogConfig) Enabled() bool { return cfg.Every > 0 }
+
+// WatchdogCheck runs the divergence watchdog after batch number batchIndex
+// (1-based). When the period elapses it verifies the sampled state and, on
+// divergence beyond Epsilon, falls back to a cold-start recompute — after
+// which the incremental stream resumes as if the state had never been
+// poisoned. It is stateless so a restored checkpoint continues the same check
+// cadence from the stored batch count.
+func (j *JetStream) WatchdogCheck(cfg WatchdogConfig, batchIndex uint64) (checked bool, div float64, fellBack bool) {
+	if !cfg.Enabled() || batchIndex%uint64(cfg.Every) != 0 {
+		return false, 0, false
+	}
+	div = j.VerifySample(cfg.Sample)
+	if div > cfg.Epsilon || math.IsNaN(div) {
+		j.ColdStart()
+		fellBack = true
+	}
+	return true, div, fellBack
 }
 
 // Tolerance returns an acceptable Verify bound: exact for selective kernels;

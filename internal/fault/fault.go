@@ -1,0 +1,189 @@
+// Package fault provides a deterministic, seed-driven fault injector for the
+// resilience layer. It models the two untrusted surfaces of a deployed
+// accelerator: the host–device DMA link (failed, partial, or timed-out
+// transfers) and the incoming update feed (bit-flipped weights, corrupted or
+// shuffled vertex ids, truncated batches). Every decision is drawn from one
+// seeded PRNG, so a test that observed a fault sequence can replay it exactly.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"jetstream/internal/graph"
+)
+
+// Config selects the fault rates. All probabilities are per-opportunity (per
+// transfer for the link faults, per update for the feed corruptions, per
+// batch for truncation) in [0,1]; zero disables that fault class.
+type Config struct {
+	// Seed drives the injector's PRNG; runs with equal Seed and equal call
+	// sequences observe identical faults.
+	Seed int64
+
+	// DMA link faults.
+	FailProb    float64 // transfer fails outright, no bytes arrive
+	PartialProb float64 // transfer stops partway through
+	TimeoutProb float64 // transfer exceeds its deadline
+
+	// Update feed corruptions.
+	WeightFlipProb float64 // flip one random bit of an insert's weight
+	IDCorruptProb  float64 // rewrite or shuffle an update's endpoint
+	TruncateProb   float64 // drop the tail of the batch
+}
+
+// Enabled reports whether any fault class has a nonzero rate.
+func (c Config) Enabled() bool {
+	return c.FailProb > 0 || c.PartialProb > 0 || c.TimeoutProb > 0 ||
+		c.WeightFlipProb > 0 || c.IDCorruptProb > 0 || c.TruncateProb > 0
+}
+
+// Kind classifies a DMA link fault.
+type Kind int
+
+const (
+	// KindFail is an outright failed transfer: no bytes arrive.
+	KindFail Kind = iota
+	// KindPartial is a transfer that stopped partway; Fraction reports how
+	// much arrived before the cut.
+	KindPartial
+	// KindTimeout is a transfer that exceeded its deadline.
+	KindTimeout
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFail:
+		return "failed"
+	case KindPartial:
+		return "partial"
+	case KindTimeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// TransferError is the injected DMA link fault. All injected link faults are
+// transient: the transfer left device state untouched and may be retried.
+type TransferError struct {
+	Kind     Kind
+	Bytes    uint64  // size of the attempted transfer
+	Fraction float64 // for KindPartial: fraction delivered before the cut
+}
+
+func (e *TransferError) Error() string {
+	if e.Kind == KindPartial {
+		return fmt.Sprintf("fault: %s transfer of %d bytes (%.0f%% delivered)",
+			e.Kind, e.Bytes, 100*e.Fraction)
+	}
+	return fmt.Sprintf("fault: %s transfer of %d bytes", e.Kind, e.Bytes)
+}
+
+// Transient reports whether the fault may clear on retry. Every injected link
+// fault is transient by construction.
+func (e *TransferError) Transient() bool { return true }
+
+// Injector draws faults from a seeded PRNG. A nil *Injector is valid and
+// injects nothing, so callers can thread it through unconditionally.
+type Injector struct {
+	cfg      Config
+	rng      *rand.Rand
+	injected uint64
+}
+
+// New builds an injector for cfg. Returns nil when cfg injects nothing, which
+// callers treat as a disabled injector.
+func New(cfg Config) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Injected returns the total number of faults introduced so far (link faults
+// and feed corruptions combined).
+func (in *Injector) Injected() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.injected
+}
+
+// TransferFault decides the fate of one DMA transfer of the given size. It
+// returns nil (transfer succeeds) or a *TransferError describing the injected
+// link fault.
+func (in *Injector) TransferFault(bytes uint64) error {
+	if in == nil {
+		return nil
+	}
+	r := in.rng.Float64()
+	if r < in.cfg.FailProb {
+		in.injected++
+		return &TransferError{Kind: KindFail, Bytes: bytes}
+	}
+	r -= in.cfg.FailProb
+	if r < in.cfg.PartialProb {
+		in.injected++
+		return &TransferError{Kind: KindPartial, Bytes: bytes, Fraction: 0.1 + 0.8*in.rng.Float64()}
+	}
+	r -= in.cfg.PartialProb
+	if r < in.cfg.TimeoutProb {
+		in.injected++
+		return &TransferError{Kind: KindTimeout, Bytes: bytes}
+	}
+	return nil
+}
+
+// CorruptBatch applies feed corruptions to a copy of b and returns it along
+// with the number of corruptions introduced; b itself is never modified.
+// Corruptions deliberately span the detectable (NaN weights, out-of-range
+// ids — caught by ingest validation) and the silent (in-range id shuffles,
+// sign-preserving weight flips — only the divergence watchdog or a reference
+// solve can notice those).
+func (in *Injector) CorruptBatch(b graph.Batch) (graph.Batch, int) {
+	if in == nil || (in.cfg.WeightFlipProb == 0 && in.cfg.IDCorruptProb == 0 && in.cfg.TruncateProb == 0) {
+		return b, 0
+	}
+	ins := append([]graph.Edge(nil), b.Inserts...)
+	del := append([]graph.Edge(nil), b.Deletes...)
+	n := 0
+	for i := range ins {
+		if in.rng.Float64() < in.cfg.WeightFlipProb {
+			bits := math.Float64bits(ins[i].Weight)
+			bits ^= 1 << uint(in.rng.Intn(64))
+			ins[i].Weight = math.Float64frombits(bits)
+			n++
+		}
+		if in.rng.Float64() < in.cfg.IDCorruptProb {
+			if len(ins) > 1 && in.rng.Intn(2) == 0 {
+				// Shuffle destinations between two updates: both ids stay in
+				// range, so the result may still validate.
+				j := in.rng.Intn(len(ins))
+				ins[i].Dst, ins[j].Dst = ins[j].Dst, ins[i].Dst
+			} else {
+				ins[i].Dst = graph.VertexID(in.rng.Uint32())
+			}
+			n++
+		}
+	}
+	for i := range del {
+		if in.rng.Float64() < in.cfg.IDCorruptProb {
+			del[i].Src = graph.VertexID(in.rng.Uint32())
+			n++
+		}
+	}
+	if in.rng.Float64() < in.cfg.TruncateProb {
+		if len(ins) > 0 {
+			ins = ins[:in.rng.Intn(len(ins))]
+			n++
+		}
+		if len(del) > 0 {
+			del = del[:in.rng.Intn(len(del))]
+			n++
+		}
+	}
+	in.injected += uint64(n)
+	return graph.Batch{Inserts: ins, Deletes: del}, n
+}

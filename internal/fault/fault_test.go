@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"testing"
+
+	"jetstream/internal/graph"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in := New(Config{}); in != nil {
+		t.Fatal("disabled config built a live injector")
+	}
+	if err := in.TransferFault(100); err != nil {
+		t.Errorf("nil injector faulted: %v", err)
+	}
+	b := graph.Batch{Inserts: []graph.Edge{{Src: 1, Dst: 2, Weight: 3}}}
+	out, n := in.CorruptBatch(b)
+	if n != 0 || len(out.Inserts) != 1 || out.Inserts[0] != b.Inserts[0] {
+		t.Errorf("nil injector corrupted the batch: %+v (%d)", out, n)
+	}
+	if in.Injected() != 0 {
+		t.Error("nil injector reports injections")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	cfg := Config{
+		Seed: 42, FailProb: 0.2, PartialProb: 0.2, TimeoutProb: 0.1,
+		WeightFlipProb: 0.3, IDCorruptProb: 0.3, TruncateProb: 0.2,
+	}
+	run := func() ([]string, graph.Batch) {
+		in := New(cfg)
+		var faults []string
+		for i := 0; i < 50; i++ {
+			if err := in.TransferFault(1000); err != nil {
+				faults = append(faults, err.Error())
+			}
+		}
+		b := graph.Batch{
+			Inserts: []graph.Edge{{Src: 0, Dst: 1, Weight: 1}, {Src: 2, Dst: 3, Weight: 2}, {Src: 4, Dst: 5, Weight: 3}},
+			Deletes: []graph.Edge{{Src: 6, Dst: 7, Weight: 4}},
+		}
+		out, _ := in.CorruptBatch(b)
+		return faults, out
+	}
+	f1, b1 := run()
+	f2, b2 := run()
+	if len(f1) == 0 {
+		t.Fatal("no faults injected at these rates")
+	}
+	if len(f1) != len(f2) {
+		t.Fatalf("fault counts differ: %d vs %d", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Errorf("fault %d differs: %q vs %q", i, f1[i], f2[i])
+		}
+	}
+	if len(b1.Inserts) != len(b2.Inserts) || len(b1.Deletes) != len(b2.Deletes) {
+		t.Fatalf("corrupted batch shapes differ: %+v vs %+v", b1, b2)
+	}
+	for i := range b1.Inserts {
+		if b1.Inserts[i] != b2.Inserts[i] {
+			t.Errorf("insert %d differs: %+v vs %+v", i, b1.Inserts[i], b2.Inserts[i])
+		}
+	}
+}
+
+func TestTransferFaultKinds(t *testing.T) {
+	for _, tc := range []struct {
+		cfg  Config
+		kind Kind
+	}{
+		{Config{Seed: 1, FailProb: 1}, KindFail},
+		{Config{Seed: 1, PartialProb: 1}, KindPartial},
+		{Config{Seed: 1, TimeoutProb: 1}, KindTimeout},
+	} {
+		in := New(tc.cfg)
+		err := in.TransferFault(512)
+		te, ok := err.(*TransferError)
+		if !ok {
+			t.Fatalf("%v: error %T is not *TransferError", tc.kind, err)
+		}
+		if te.Kind != tc.kind || te.Bytes != 512 {
+			t.Errorf("got %+v, want kind %v", te, tc.kind)
+		}
+		if !te.Transient() {
+			t.Errorf("%v not transient", tc.kind)
+		}
+		if tc.kind == KindPartial && (te.Fraction <= 0 || te.Fraction >= 1) {
+			t.Errorf("partial fraction %v out of (0,1)", te.Fraction)
+		}
+		if te.Error() == "" {
+			t.Error("empty error string")
+		}
+	}
+	if in := New(Config{Seed: 1, FailProb: 1}); in.TransferFault(1) == nil || in.Injected() != 1 {
+		t.Error("injection not counted")
+	}
+}
+
+func TestFaultRateRoughlyRespected(t *testing.T) {
+	in := New(Config{Seed: 9, FailProb: 0.25})
+	faults := 0
+	for i := 0; i < 2000; i++ {
+		if in.TransferFault(64) != nil {
+			faults++
+		}
+	}
+	if faults < 400 || faults > 600 {
+		t.Errorf("%d faults in 2000 trials at p=0.25", faults)
+	}
+	if in.Injected() != uint64(faults) {
+		t.Errorf("Injected %d != observed %d", in.Injected(), faults)
+	}
+}
+
+func TestCorruptBatchLeavesInputIntact(t *testing.T) {
+	in := New(Config{Seed: 3, WeightFlipProb: 1, IDCorruptProb: 1, TruncateProb: 1})
+	orig := graph.Batch{
+		Inserts: []graph.Edge{{Src: 0, Dst: 1, Weight: 1}, {Src: 2, Dst: 3, Weight: 2}},
+		Deletes: []graph.Edge{{Src: 4, Dst: 5, Weight: 3}},
+	}
+	want := graph.Batch{
+		Inserts: append([]graph.Edge(nil), orig.Inserts...),
+		Deletes: append([]graph.Edge(nil), orig.Deletes...),
+	}
+	_, n := in.CorruptBatch(orig)
+	if n == 0 {
+		t.Fatal("nothing corrupted at rate 1")
+	}
+	for i := range want.Inserts {
+		if orig.Inserts[i] != want.Inserts[i] {
+			t.Errorf("input insert %d mutated: %+v", i, orig.Inserts[i])
+		}
+	}
+	if orig.Deletes[0] != want.Deletes[0] {
+		t.Errorf("input delete mutated: %+v", orig.Deletes[0])
+	}
+	if in.Injected() != uint64(n) {
+		t.Errorf("Injected %d != returned %d", in.Injected(), n)
+	}
+}

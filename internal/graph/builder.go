@@ -97,7 +97,16 @@ func Symmetrize(g *CSR) *CSR {
 	for k, w := range set {
 		es = append(es, Edge{k.u, k.v, w})
 	}
-	return MustBuild(g.NumVertices(), es)
+	// The set is deduplicated by construction and every endpoint comes from
+	// an existing CSR, so build directly from the sorted list — no error (or
+	// panic) path exists.
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Src != es[j].Src {
+			return es[i].Src < es[j].Src
+		}
+		return es[i].Dst < es[j].Dst
+	})
+	return buildSorted(g.NumVertices(), es)
 }
 
 // SymmetrizeEdges mirrors a raw edge list without building a CSR; the

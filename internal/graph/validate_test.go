@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func validateTestGraph() *CSR {
+	return MustBuild(8, []Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 2},
+		{Src: 2, Dst: 3, Weight: 3},
+		{Src: 3, Dst: 4, Weight: 4},
+	})
+}
+
+func TestSanitizeBatchCatchesEachKind(t *testing.T) {
+	g := validateTestGraph()
+	cases := []struct {
+		name string
+		b    Batch
+		kind IssueKind
+	}{
+		{"insert out of range", Batch{Inserts: []Edge{{Src: 0, Dst: 99, Weight: 1}}}, IssueOutOfRange},
+		{"delete out of range", Batch{Deletes: []Edge{{Src: 99, Dst: 0}}}, IssueOutOfRange},
+		{"nan weight", Batch{Inserts: []Edge{{Src: 0, Dst: 5, Weight: math.NaN()}}}, IssueBadWeight},
+		{"inf weight", Batch{Inserts: []Edge{{Src: 0, Dst: 5, Weight: math.Inf(1)}}}, IssueBadWeight},
+		{"non-positive weight", Batch{Inserts: []Edge{{Src: 0, Dst: 5, Weight: 0}}}, IssueBadWeight},
+		{"duplicate insert", Batch{Inserts: []Edge{{Src: 0, Dst: 5, Weight: 1}, {Src: 0, Dst: 5, Weight: 2}}}, IssueDuplicate},
+		{"duplicate delete", Batch{Deletes: []Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 1}}}, IssueDuplicate},
+		{"delete of absent edge", Batch{Deletes: []Edge{{Src: 4, Dst: 5}}}, IssueMissingDelete},
+		{"insert of present edge", Batch{Inserts: []Edge{{Src: 0, Dst: 1, Weight: 9}}}, IssueExistingInsert},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clean, issues := g.SanitizeBatch(tc.b)
+			if len(issues) != 1 {
+				t.Fatalf("got %d issues, want 1: %v", len(issues), issues)
+			}
+			if issues[0].Kind != tc.kind {
+				t.Errorf("kind %v, want %v", issues[0].Kind, tc.kind)
+			}
+			// The repaired batch must always apply cleanly.
+			if _, err := g.Apply(clean); err != nil {
+				t.Errorf("sanitized batch does not apply: %v", err)
+			}
+		})
+	}
+}
+
+func TestSanitizeBatchNormalizesDeleteWeights(t *testing.T) {
+	g := validateTestGraph()
+	// A stale or corrupted delete weight must be replaced by the stored edge
+	// weight so it cannot poison the value-aware recovery.
+	clean, issues := g.SanitizeBatch(Batch{Deletes: []Edge{{Src: 1, Dst: 2, Weight: 777}}})
+	if len(issues) != 0 {
+		t.Fatalf("unexpected issues: %v", issues)
+	}
+	if len(clean.Deletes) != 1 || clean.Deletes[0].Weight != 2 {
+		t.Errorf("delete weight not normalized: %+v", clean.Deletes)
+	}
+}
+
+func TestSanitizeBatchAllowsWeightModification(t *testing.T) {
+	g := validateTestGraph()
+	// Delete + insert of the same pair in one batch is the paper's
+	// weight-modification idiom (§2.1) and must stay legal.
+	b := Batch{
+		Deletes: []Edge{{Src: 0, Dst: 1}},
+		Inserts: []Edge{{Src: 0, Dst: 1, Weight: 10}},
+	}
+	clean, issues := g.SanitizeBatch(b)
+	if len(issues) != 0 {
+		t.Fatalf("weight modification flagged: %v", issues)
+	}
+	ng, err := g.Apply(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := ng.HasEdge(0, 1); !ok || w != 10 {
+		t.Errorf("modified edge weight %v (present=%v), want 10", w, ok)
+	}
+}
+
+func TestSanitizeBatchDoesNotMutateInput(t *testing.T) {
+	g := validateTestGraph()
+	b := Batch{
+		Inserts: []Edge{{Src: 0, Dst: 5, Weight: 1}, {Src: 0, Dst: 99, Weight: 1}},
+		Deletes: []Edge{{Src: 0, Dst: 1, Weight: 777}},
+	}
+	g.SanitizeBatch(b)
+	if b.Deletes[0].Weight != 777 || len(b.Inserts) != 2 {
+		t.Errorf("input batch was modified: %+v", b)
+	}
+}
+
+func TestValidateBatchTypedError(t *testing.T) {
+	g := validateTestGraph()
+	if err := g.ValidateBatch(Batch{Inserts: []Edge{{Src: 0, Dst: 5, Weight: 1}}}); err != nil {
+		t.Errorf("clean batch rejected: %v", err)
+	}
+	err := g.ValidateBatch(Batch{
+		Inserts: []Edge{{Src: 0, Dst: 99, Weight: 1}, {Src: 0, Dst: 5, Weight: math.NaN()}},
+	})
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T is not *BatchError", err)
+	}
+	if len(be.Issues) != 2 {
+		t.Errorf("got %d issues, want 2", len(be.Issues))
+	}
+	if be.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestIngestPolicyStrings(t *testing.T) {
+	if Strict.String() != "strict" || Repair.String() != "repair" {
+		t.Errorf("policy strings: %v, %v", Strict, Repair)
+	}
+	for k := IssueOutOfRange; k <= IssueExistingInsert; k++ {
+		if k.String() == "" {
+			t.Errorf("IssueKind(%d) has empty string", int(k))
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"jetstream/internal/algo"
 	"jetstream/internal/core"
+	"jetstream/internal/fault"
 	"jetstream/internal/graph"
 	"jetstream/internal/stats"
 	"jetstream/internal/version"
@@ -38,6 +39,26 @@ type LinkConfig struct {
 // DefaultLink returns a PCIe-3.0-class link.
 func DefaultLink() LinkConfig { return LinkConfig{GBps: 12, LatencyUS: 5} }
 
+// RetryConfig bounds the recovery of a faulted DMA transfer. Backoff and
+// timeout are charged as modeled link seconds, like the transfers themselves.
+type RetryConfig struct {
+	// MaxRetries is how many times a faulted transfer is re-attempted before
+	// the operation aborts; 0 disables retry.
+	MaxRetries int
+	// BackoffUS is the wait before the first retry, in microseconds; each
+	// subsequent retry doubles it.
+	BackoffUS float64
+	// TimeoutUS is the per-transfer deadline: a hung transfer is abandoned
+	// (and charged) at this point. 0 means no deadline — a hung transfer
+	// costs its nominal duration.
+	TimeoutUS float64
+}
+
+// DefaultRetry tolerates a few transient link faults per transfer.
+func DefaultRetry() RetryConfig {
+	return RetryConfig{MaxRetries: 4, BackoffUS: 50, TimeoutUS: 2000}
+}
+
 // Config configures a Session.
 type Config struct {
 	Accel core.Config
@@ -48,11 +69,22 @@ type Config struct {
 	// in place by a device-resident versioning structure (GraSU-style),
 	// which shrinks DMA traffic by orders of magnitude.
 	SwapFullCSR bool
+
+	// Ingest selects how Stream treats invalid updates (default Strict:
+	// reject the batch, state untouched; Repair drops and counts them).
+	Ingest graph.IngestPolicy
+	// Retry bounds DMA fault recovery (zero value: no retries).
+	Retry RetryConfig
+	// Watchdog enables the divergence watchdog with cold-start fallback.
+	Watchdog core.WatchdogConfig
+	// Fault configures the deterministic fault injector on the DMA link and
+	// the update feed (zero value: no injection).
+	Fault fault.Config
 }
 
 // DefaultConfig uses the full-CSR swap, matching §4.7's simplest case.
 func DefaultConfig() Config {
-	return Config{Accel: core.DefaultConfig(), Link: DefaultLink(), SwapFullCSR: true}
+	return Config{Accel: core.DefaultConfig(), Link: DefaultLink(), SwapFullCSR: true, Retry: DefaultRetry()}
 }
 
 // Result reports one operation end to end.
@@ -62,6 +94,14 @@ type Result struct {
 	DMASeconds   float64 // host-device transfer time for this operation
 	DMABytes     uint64
 	Cycles       uint64
+
+	// Resilience outcomes for this operation.
+	Retries    uint64  // DMA attempts retried after an injected fault
+	Injected   uint64  // corruptions injected into this operation's batch
+	Repaired   uint64  // invalid updates dropped by the Repair policy
+	Checked    bool    // the divergence watchdog ran after this batch
+	Divergence float64 // deviation the watchdog measured (when Checked)
+	FellBack   bool    // the watchdog triggered a cold-start recompute
 }
 
 // Total returns compute + transfer time.
@@ -76,9 +116,11 @@ type Session struct {
 	alg   algo.Algorithm
 	js    *core.JetStream
 	st    *stats.Counters
+	inj   *fault.Injector
 
 	initialized bool
 	prevCycles  uint64
+	batches     uint64
 
 	totalDMABytes uint64
 	totalDMASecs  float64
@@ -103,6 +145,7 @@ func NewSession(base *graph.CSR, a algo.Algorithm, cfg Config) (*Session, error)
 		alg:   a,
 		js:    core.New(base, a, cfg.Accel, st),
 		st:    st,
+		inj:   fault.New(cfg.Fault),
 	}, nil
 }
 
@@ -118,11 +161,58 @@ func (s *Session) dma(n uint64) float64 {
 	return secs
 }
 
+// dmaTransfer attempts a transfer of n bytes through the fault injector,
+// retrying with exponential backoff up to the configured bound. It returns
+// the modeled seconds (successful attempt plus any faulted attempts and
+// backoff waits), the retry count, and a non-nil error when the transfer was
+// abandoned — in which case no bytes arrived and device state is untouched.
+func (s *Session) dmaTransfer(n uint64) (float64, uint64, error) {
+	nominal := s.cfg.Link.LatencyUS/1e6 + float64(n)/(s.cfg.Link.GBps*1e9)
+	backoff := s.cfg.Retry.BackoffUS / 1e6
+	secs := 0.0
+	var retries uint64
+	for attempt := 0; ; attempt++ {
+		err := s.inj.TransferFault(n)
+		if err == nil {
+			secs += nominal
+			s.totalDMABytes += n
+			s.totalDMASecs += secs
+			return secs, retries, nil
+		}
+		// Charge the faulted attempt for the time it plausibly consumed.
+		cost := nominal
+		if te, ok := err.(*fault.TransferError); ok {
+			switch te.Kind {
+			case fault.KindPartial:
+				cost = s.cfg.Link.LatencyUS/1e6 + te.Fraction*float64(n)/(s.cfg.Link.GBps*1e9)
+			case fault.KindTimeout:
+				if s.cfg.Retry.TimeoutUS > 0 {
+					cost = s.cfg.Retry.TimeoutUS / 1e6
+				}
+			}
+		}
+		secs += cost
+		if attempt >= s.cfg.Retry.MaxRetries {
+			s.st.TransfersAborted++
+			s.totalDMASecs += secs
+			return secs, retries, fmt.Errorf("host: DMA transfer of %d bytes abandoned after %d attempt(s): %w", n, attempt+1, err)
+		}
+		s.st.TransfersRetried++
+		retries++
+		secs += backoff
+		backoff *= 2
+	}
+}
+
 // csrBytes estimates the device footprint of a CSR: both direction indexes
 // (pointers + edge records) plus the vertex state array.
 func csrBytes(g *graph.CSR, vertexBytes int) uint64 {
-	v := uint64(g.NumVertices())
-	e := uint64(g.NumEdges())
+	return csrBytesDims(uint64(g.NumVertices()), uint64(g.NumEdges()), vertexBytes)
+}
+
+// csrBytesDims is csrBytes from the dimensions alone, so a transfer can be
+// sized (and charged, and faulted) before the new CSR is materialized.
+func csrBytesDims(v, e uint64, vertexBytes int) uint64 {
 	return 2*((v+1)*8+e*8) + v*uint64(vertexBytes)
 }
 
@@ -141,7 +231,12 @@ func (s *Session) Initialize() (Result, error) {
 		return Result{}, err
 	}
 	nInit := len(s.alg.InitialEvents(g))
-	dmaSecs := s.dma(csrBytes(g, s.cfg.Accel.Engine.VertexBytes) + uint64(nInit)*16)
+	dmaSecs, retries, err := s.dmaTransfer(csrBytes(g, s.cfg.Accel.Engine.VertexBytes) + uint64(nInit)*16)
+	if err != nil {
+		// Nothing reached the device; the session stays uninitialized and
+		// Initialize may be called again.
+		return Result{DMASeconds: dmaSecs, Retries: retries}, err
+	}
 
 	s.js.RunInitial()
 	s.initialized = true
@@ -153,29 +248,63 @@ func (s *Session) Initialize() (Result, error) {
 		DMASeconds:   dmaSecs,
 		DMABytes:     s.totalDMABytes,
 		Cycles:       cyc,
+		Retries:      retries,
 	}, nil
 }
 
-// Stream appends a batch to the version store, ships it (and, in the
-// full-swap configuration, the new CSR) to the device, and runs the
-// incremental re-evaluation.
+// Stream ingests one update batch end to end: the (possibly corrupted) feed
+// is validated against the ingest policy, the transfer is sized and pushed
+// through the faultable DMA link with bounded retry, and only after the
+// transfer succeeds are the host version store and the device updated — an
+// aborted transfer leaves every layer exactly as it was. The divergence
+// watchdog, when configured, runs after the batch lands and falls back to a
+// cold-start recompute if the incremental state has drifted.
 func (s *Session) Stream(b graph.Batch) (Result, error) {
 	if !s.initialized {
 		return Result{}, fmt.Errorf("host: Initialize before Stream")
 	}
-	v, ng, err := s.store.Append(b)
+
+	// The feed is untrusted: the injector models corruption on the wire.
+	b, injected := s.inj.CorruptBatch(b)
+	s.st.FaultsInjected += uint64(injected)
+
+	// Ingest validation. The sanitized batch always applies cleanly, so the
+	// commit below cannot fail halfway.
+	clean, issues := s.js.Graph().SanitizeBatch(b)
+	if len(issues) > 0 {
+		if s.cfg.Ingest == graph.Strict {
+			return Result{Injected: uint64(injected)}, &graph.BatchError{Issues: issues}
+		}
+		s.st.UpdatesDropped += uint64(len(issues))
+		s.st.BatchesRepaired++
+	}
+
+	// Transfer first, sized from dimensions alone: the new CSR footprint
+	// depends only on the vertex and surviving edge counts, so an abort here
+	// costs nothing to host or device state.
+	bytes := uint64(clean.Size()) * updateBytes
+	if s.cfg.SwapFullCSR {
+		g := s.js.Graph()
+		e := uint64(g.NumEdges()+len(clean.Inserts)) - uint64(len(clean.Deletes))
+		bytes += csrBytesDims(uint64(g.NumVertices()), e, s.cfg.Accel.Engine.VertexBytes)
+	}
+	dmaSecs, retries, err := s.dmaTransfer(bytes)
+	if err != nil {
+		return Result{DMASeconds: dmaSecs, Retries: retries, Injected: uint64(injected), Repaired: uint64(len(issues))}, err
+	}
+
+	// Commit: version store first, then the device. Both consume the same
+	// sanitized batch the transfer was sized for.
+	v, _, err := s.store.Append(clean)
 	if err != nil {
 		return Result{}, err
 	}
-	bytes := uint64(b.Size()) * updateBytes
-	if s.cfg.SwapFullCSR {
-		bytes += csrBytes(ng, s.cfg.Accel.Engine.VertexBytes)
-	}
-	dmaSecs := s.dma(bytes)
-
-	if err := s.js.ApplyBatch(b); err != nil {
+	if err := s.js.ApplyBatch(clean); err != nil {
 		return Result{}, err
 	}
+	s.batches++
+	checked, div, fell := s.js.WatchdogCheck(s.cfg.Watchdog, s.batches)
+
 	cyc := s.js.Cycles() - s.prevCycles
 	s.prevCycles = s.js.Cycles()
 	return Result{
@@ -184,6 +313,12 @@ func (s *Session) Stream(b graph.Batch) (Result, error) {
 		DMASeconds:   dmaSecs,
 		DMABytes:     bytes,
 		Cycles:       cyc,
+		Retries:      retries,
+		Injected:     uint64(injected),
+		Repaired:     uint64(len(issues)),
+		Checked:      checked,
+		Divergence:   div,
+		FellBack:     fell,
 	}, nil
 }
 
@@ -216,6 +351,14 @@ func (s *Session) QueryAt(v int) ([]float64, error) {
 // Verify cross-checks the streaming state against a from-scratch solver on
 // the current version.
 func (s *Session) Verify() float64 { return s.js.Verify() }
+
+// Stats exposes the session's cumulative counters (including the resilience
+// counters: faults injected, updates dropped, transfers retried/aborted,
+// cold-start fallbacks).
+func (s *Session) Stats() *stats.Counters { return s.st }
+
+// Batches returns how many batches have been committed by Stream.
+func (s *Session) Batches() uint64 { return s.batches }
 
 // Totals reports cumulative DMA traffic and time.
 func (s *Session) Totals() (bytes uint64, seconds float64) {

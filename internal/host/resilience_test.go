@@ -1,0 +1,208 @@
+package host
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"jetstream/internal/algo"
+	"jetstream/internal/core"
+	"jetstream/internal/fault"
+	"jetstream/internal/graph"
+	"jetstream/internal/stream"
+)
+
+// resilientConfig is the acceptance configuration: a lossy link (>10%
+// combined transfer fault rate) and a corrupting feed, survived by bounded
+// retry plus the Repair ingest policy. Timing off keeps the 50-batch session
+// fast; the functional results are what resilience is judged on.
+func resilientConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Accel.Engine.Timing = false
+	cfg.Ingest = graph.Repair
+	cfg.Watchdog = core.WatchdogConfig{Every: 10, Epsilon: 1e-9}
+	cfg.Fault = fault.Config{
+		Seed:     7,
+		FailProb: 0.08, PartialProb: 0.04, TimeoutProb: 0.03,
+		WeightFlipProb: 0.02, IDCorruptProb: 0.02, TruncateProb: 0.05,
+	}
+	return cfg
+}
+
+func TestFaultySessionSurvives50Batches(t *testing.T) {
+	g := graph.RMAT(graph.RMATConfig{Vertices: 400, Edges: 3000, Seed: 31})
+	s, err := NewSession(g, algo.NewSSSP(0), resilientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+
+	gen := stream.NewGenerator(stream.Config{BatchSize: 40, InsertFrac: 0.6, Seed: 32})
+	var checked int
+	for i := 0; i < 50; i++ {
+		res, err := s.Stream(gen.Next(mustLatest(t, s)))
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if res.Checked {
+			checked++
+		}
+	}
+	if got := s.Batches(); got != 50 {
+		t.Fatalf("committed %d batches, want 50", got)
+	}
+	if checked != 5 {
+		t.Errorf("watchdog ran %d times in 50 batches at Every=10", checked)
+	}
+
+	st := s.Stats()
+	if st.FaultsInjected == 0 {
+		t.Error("no faults injected at these rates")
+	}
+	if st.TransfersRetried == 0 {
+		t.Error("no transfers retried despite link faults")
+	}
+	if st.UpdatesDropped == 0 || st.BatchesRepaired == 0 {
+		t.Errorf("repair policy dropped %d updates over %d batches", st.UpdatesDropped, st.BatchesRepaired)
+	}
+	if st.TransfersAborted != 0 {
+		t.Errorf("%d transfers aborted despite retry budget", st.TransfersAborted)
+	}
+	// Silent corruptions land consistently in the version store and on the
+	// device, so the selective query still verifies exactly against a
+	// from-scratch solve of the (corrupted) current version.
+	if d := s.Verify(); d != 0 {
+		t.Errorf("session diverged by %v", d)
+	}
+	t.Logf("injected=%d retried=%d dropped=%d repaired-batches=%d",
+		st.FaultsInjected, st.TransfersRetried, st.UpdatesDropped, st.BatchesRepaired)
+}
+
+func TestAbortedTransferLeavesStateUntouched(t *testing.T) {
+	g := graph.RMAT(graph.RMATConfig{Vertices: 200, Edges: 1500, Seed: 33})
+	cfg := DefaultConfig()
+	cfg.Accel.Engine.Timing = false
+	cfg.Retry = RetryConfig{MaxRetries: 0}
+	s, err := NewSession(g, algo.NewSSSP(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := s.ReadBack()
+	version := s.Store().Latest()
+
+	// Every transfer now fails and there is no retry budget: Stream must
+	// abort without committing anything anywhere.
+	s.cfg.Fault = fault.Config{Seed: 34, FailProb: 1}
+	s.inj = fault.New(s.cfg.Fault)
+	gen := stream.NewGenerator(stream.Config{BatchSize: 30, InsertFrac: 0.6, Seed: 35})
+	res, err := s.Stream(gen.Next(mustLatest(t, s)))
+	if err == nil {
+		t.Fatal("aborted transfer reported success")
+	}
+	var te *fault.TransferError
+	if !errors.As(err, &te) {
+		t.Errorf("abort error %v does not wrap *fault.TransferError", err)
+	}
+	if res.DMASeconds <= 0 {
+		t.Error("aborted transfer charged no link time")
+	}
+	if s.Stats().TransfersAborted != 1 {
+		t.Errorf("TransfersAborted = %d, want 1", s.Stats().TransfersAborted)
+	}
+	if s.Store().Latest() != version || s.Batches() != 0 {
+		t.Error("aborted transfer advanced the version store")
+	}
+	after, _ := s.ReadBack()
+	if d := algo.MaxAbsDiff(before, after); d != 0 {
+		t.Errorf("aborted transfer moved device state by %v", d)
+	}
+	if d := s.Verify(); d != 0 {
+		t.Errorf("session inconsistent after abort: %v", d)
+	}
+
+	// Clearing the fault lets the same session stream again.
+	s.cfg.Fault = fault.Config{}
+	s.inj = nil
+	if _, err := s.Stream(gen.Next(mustLatest(t, s))); err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Verify(); d != 0 {
+		t.Errorf("recovered session diverged by %v", d)
+	}
+}
+
+func TestStrictSessionRejectsCorruptFeed(t *testing.T) {
+	g := graph.RMAT(graph.RMATConfig{Vertices: 200, Edges: 1500, Seed: 36})
+	cfg := DefaultConfig()
+	cfg.Accel.Engine.Timing = false
+	s, err := NewSession(g, algo.NewSSSP(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := s.ReadBack()
+
+	bad := graph.Batch{Inserts: []graph.Edge{{Src: 0, Dst: 9999, Weight: 1}}}
+	_, err = s.Stream(bad)
+	var be *graph.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("strict rejection %v is not a *graph.BatchError", err)
+	}
+	if s.Store().Latest() != 0 || s.Batches() != 0 {
+		t.Error("rejected batch advanced the version store")
+	}
+	after, _ := s.ReadBack()
+	if d := algo.MaxAbsDiff(before, after); d != 0 {
+		t.Errorf("rejected batch moved device state by %v", d)
+	}
+}
+
+func TestWatchdogFallbackOnForcedDivergence(t *testing.T) {
+	g := graph.RMAT(graph.RMATConfig{Vertices: 200, Edges: 1500, Seed: 37})
+	cfg := DefaultConfig()
+	cfg.Accel.Engine.Timing = false
+	cfg.Watchdog = core.WatchdogConfig{Every: 1, Epsilon: 1e-9}
+	s, err := NewSession(g, algo.NewSSSP(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sabotage the device state directly — the kind of silent corruption the
+	// watchdog exists to catch (the ingest validators can't see it). The
+	// distances shrink: a monotone min-kernel can never raise a
+	// too-small state, so no amount of incremental recovery repairs this.
+	state := s.js.Engine().State()
+	for i := range state {
+		if state[i] > 0 && !math.IsInf(state[i], 0) {
+			state[i] *= 0.25
+		}
+	}
+	gen := stream.NewGenerator(stream.Config{BatchSize: 20, InsertFrac: 0.6, Seed: 38})
+	res, err := s.Stream(gen.Next(mustLatest(t, s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Checked {
+		t.Fatal("watchdog did not run at Every=1")
+	}
+	if !res.FellBack {
+		t.Fatalf("watchdog saw divergence %v but did not fall back", res.Divergence)
+	}
+	if s.Stats().ColdStartFallbacks != 1 {
+		t.Errorf("ColdStartFallbacks = %d, want 1", s.Stats().ColdStartFallbacks)
+	}
+	// The cold-start recompute repaired the sabotage.
+	if d := s.Verify(); d != 0 {
+		t.Errorf("state still wrong after fallback: %v", d)
+	}
+}

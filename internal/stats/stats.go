@@ -34,6 +34,14 @@ type Counters struct {
 	RowHits          uint64 // DRAM row-buffer hits
 	SpillBytes       uint64 // cross-slice / overflow events written off-chip
 
+	// Resilience (ingest validation, fault injection, recovery).
+	UpdatesDropped     uint64 // invalid updates dropped by the Repair ingest policy
+	BatchesRepaired    uint64 // batches with at least one update dropped
+	FaultsInjected     uint64 // corruptions introduced by the fault injector
+	TransfersRetried   uint64 // DMA transfer attempts retried after a fault
+	TransfersAborted   uint64 // DMA transfers abandoned after exhausting retries
+	ColdStartFallbacks uint64 // watchdog/restore cold-start recomputations
+
 	// Timing results.
 	Cycles uint64 // accelerator cycles at the configured clock
 }
@@ -56,7 +64,41 @@ func (c *Counters) Add(o *Counters) {
 	c.DRAMAccesses += o.DRAMAccesses
 	c.RowHits += o.RowHits
 	c.SpillBytes += o.SpillBytes
+	c.UpdatesDropped += o.UpdatesDropped
+	c.BatchesRepaired += o.BatchesRepaired
+	c.FaultsInjected += o.FaultsInjected
+	c.TransfersRetried += o.TransfersRetried
+	c.TransfersAborted += o.TransfersAborted
+	c.ColdStartFallbacks += o.ColdStartFallbacks
 	c.Cycles += o.Cycles
+}
+
+// Sub subtracts o from c field by field. Callers snapshotting cumulative
+// counters use it to compute per-operation deltas.
+func (c *Counters) Sub(o *Counters) {
+	c.EventsProcessed -= o.EventsProcessed
+	c.EventsGenerated -= o.EventsGenerated
+	c.EventsCoalesced -= o.EventsCoalesced
+	c.VertexReads -= o.VertexReads
+	c.VertexWrites -= o.VertexWrites
+	c.EdgeReads -= o.EdgeReads
+	c.VerticesReset -= o.VerticesReset
+	c.RequestsIssued -= o.RequestsIssued
+	c.DeletesDiscarded -= o.DeletesDiscarded
+	c.Rounds -= o.Rounds
+	c.Phases -= o.Phases
+	c.BytesTransferred -= o.BytesTransferred
+	c.BytesUsed -= o.BytesUsed
+	c.DRAMAccesses -= o.DRAMAccesses
+	c.RowHits -= o.RowHits
+	c.SpillBytes -= o.SpillBytes
+	c.UpdatesDropped -= o.UpdatesDropped
+	c.BatchesRepaired -= o.BatchesRepaired
+	c.FaultsInjected -= o.FaultsInjected
+	c.TransfersRetried -= o.TransfersRetried
+	c.TransfersAborted -= o.TransfersAborted
+	c.ColdStartFallbacks -= o.ColdStartFallbacks
+	c.Cycles -= o.Cycles
 }
 
 // Reset zeroes every counter.
@@ -108,12 +150,18 @@ func (c *Counters) Table() string {
 		{"DRAM accesses", c.DRAMAccesses},
 		{"row hits", c.RowHits},
 		{"spill bytes", c.SpillBytes},
+		{"updates dropped", c.UpdatesDropped},
+		{"batches repaired", c.BatchesRepaired},
+		{"faults injected", c.FaultsInjected},
+		{"transfers retried", c.TransfersRetried},
+		{"transfers aborted", c.TransfersAborted},
+		{"cold-start fallbacks", c.ColdStartFallbacks},
 		{"cycles", c.Cycles},
 	}
 	var b strings.Builder
 	for _, r := range rows {
 		if r.v != 0 {
-			fmt.Fprintf(&b, "%-18s %12d\n", r.k, r.v)
+			fmt.Fprintf(&b, "%-20s %12d\n", r.k, r.v)
 		}
 	}
 	return b.String()

@@ -56,6 +56,15 @@ type (
 	AcceleratorConfig = engine.Config
 	// OptLevel selects the deletion-recovery pruning optimization.
 	OptLevel = core.OptLevel
+	// IngestPolicy selects how ApplyBatch treats invalid updates.
+	IngestPolicy = graph.IngestPolicy
+	// BatchError is the typed rejection the Strict ingest policy returns; it
+	// lists every invalid update found.
+	BatchError = graph.BatchError
+	// BatchIssue describes one invalid update within a rejected batch.
+	BatchIssue = graph.BatchIssue
+	// WatchdogConfig parameterizes the divergence watchdog (see WithWatchdog).
+	WatchdogConfig = core.WatchdogConfig
 )
 
 // Optimization levels (paper §5).
@@ -63,6 +72,16 @@ const (
 	OptBase = core.OptBase
 	OptVAP  = core.OptVAP
 	OptDAP  = core.OptDAP
+)
+
+// Ingest policies for invalid updates (see WithIngest).
+const (
+	// Strict rejects a batch containing any invalid update with a *BatchError
+	// and leaves the query state untouched (the default).
+	Strict = graph.Strict
+	// Repair drops invalid updates, applies the rest, and counts the drops in
+	// the stats (UpdatesDropped, BatchesRepaired).
+	Repair = graph.Repair
 )
 
 // Graph constructors.
@@ -115,6 +134,8 @@ type options struct {
 	timing   bool
 	detailed bool
 	accel    *engine.Config
+	ingest   IngestPolicy
+	watchdog WatchdogConfig
 }
 
 // WithOpt selects the deletion-recovery optimization (default OptDAP).
@@ -144,6 +165,22 @@ func WithAccelerator(cfg AcceleratorConfig) Option {
 	return func(op *options) { op.accel = &cfg }
 }
 
+// WithIngest selects the policy for batches containing invalid updates
+// (out-of-range endpoints, NaN/Inf/non-positive weights, duplicate pairs,
+// deletes of absent edges, inserts of present edges). The default is Strict.
+func WithIngest(p IngestPolicy) Option {
+	return func(op *options) { op.ingest = p }
+}
+
+// WithWatchdog enables the divergence watchdog: every cfg.Every batches the
+// streaming state is verified against a from-scratch solve (sampled down to
+// cfg.Sample vertices when set), and a deviation beyond cfg.Epsilon triggers
+// an automatic cold-start recompute — the paper's GraphPulse baseline as the
+// recovery of last resort. Disabled by default.
+func WithWatchdog(cfg WatchdogConfig) Option {
+	return func(op *options) { op.watchdog = cfg }
+}
+
 // Result summarizes one operation (initial run or one batch).
 type Result struct {
 	// Cycles consumed by this operation at the accelerator clock.
@@ -152,16 +189,30 @@ type Result struct {
 	Duration time.Duration
 	// Stats holds the work counters for this operation only.
 	Stats Counters
+
+	// Repaired counts the invalid updates dropped by the Repair ingest policy
+	// for this batch.
+	Repaired uint64
+	// Checked reports whether the divergence watchdog ran after this batch.
+	Checked bool
+	// Divergence is the deviation the watchdog measured (when Checked).
+	Divergence float64
+	// FellBack reports whether the watchdog triggered a cold-start recompute.
+	FellBack bool
 }
 
 // System is a standing query over a streaming graph: the JetStream engine,
 // its current graph version, and its converged vertex states.
 type System struct {
-	js   *core.JetStream
-	st   *stats.Counters
-	cfg  core.Config
-	prev stats.Counters
-	init bool
+	js      *core.JetStream
+	alg     Algorithm
+	st      *stats.Counters
+	cfg     core.Config
+	ingest  IngestPolicy
+	wd      WatchdogConfig
+	prev    stats.Counters
+	batches uint64
+	init    bool
 }
 
 // New builds a System for query a over initial graph g.
@@ -187,7 +238,14 @@ func New(g *Graph, a Algorithm, opts ...Option) (*System, error) {
 	cfg.Engine.Timing = op.timing
 	cfg.Engine.DetailedTiming = op.detailed
 	st := &stats.Counters{}
-	return &System{js: core.New(g, a, cfg, st), st: st, cfg: cfg}, nil
+	return &System{
+		js:     core.New(g, a, cfg, st),
+		alg:    a,
+		st:     st,
+		cfg:    cfg,
+		ingest: op.ingest,
+		wd:     op.watchdog,
+	}, nil
 }
 
 // delta snapshots the counters consumed since the previous snapshot.
@@ -195,23 +253,7 @@ func (s *System) delta() Result {
 	cur := *s.st
 	cur.Cycles = s.js.Cycles()
 	d := cur
-	d.EventsProcessed -= s.prev.EventsProcessed
-	d.EventsGenerated -= s.prev.EventsGenerated
-	d.EventsCoalesced -= s.prev.EventsCoalesced
-	d.VertexReads -= s.prev.VertexReads
-	d.VertexWrites -= s.prev.VertexWrites
-	d.EdgeReads -= s.prev.EdgeReads
-	d.VerticesReset -= s.prev.VerticesReset
-	d.RequestsIssued -= s.prev.RequestsIssued
-	d.DeletesDiscarded -= s.prev.DeletesDiscarded
-	d.Rounds -= s.prev.Rounds
-	d.Phases -= s.prev.Phases
-	d.BytesTransferred -= s.prev.BytesTransferred
-	d.BytesUsed -= s.prev.BytesUsed
-	d.DRAMAccesses -= s.prev.DRAMAccesses
-	d.RowHits -= s.prev.RowHits
-	d.SpillBytes -= s.prev.SpillBytes
-	d.Cycles -= s.prev.Cycles
+	d.Sub(&s.prev)
 	s.prev = cur
 	secs := s.cfg.Engine.CyclesToSeconds(d.Cycles)
 	return Result{
@@ -230,22 +272,53 @@ func (s *System) RunInitial() Result {
 }
 
 // ApplyBatch incrementally updates the query results for the next graph
-// version.
+// version. Every batch is validated first: under the Strict policy (default)
+// an invalid update rejects the whole batch with a *BatchError and the state
+// is untouched; under Repair the invalid updates are dropped, counted, and
+// the rest applied. ApplyBatch never panics on caller-supplied input.
 func (s *System) ApplyBatch(b Batch) (Result, error) {
 	if !s.init {
 		return Result{}, fmt.Errorf("jetstream: call RunInitial before ApplyBatch")
 	}
-	if err := s.js.ApplyBatch(b); err != nil {
+	// Sanitize unconditionally: even a clean batch has its delete weights
+	// normalized to the stored edge weight, so a stale weight cannot poison
+	// the value-aware recovery.
+	clean, issues := s.js.Graph().SanitizeBatch(b)
+	if len(issues) > 0 {
+		if s.ingest == Strict {
+			return Result{}, &BatchError{Issues: issues}
+		}
+		s.st.UpdatesDropped += uint64(len(issues))
+		s.st.BatchesRepaired++
+	}
+	if err := s.js.ApplyBatch(clean); err != nil {
 		return Result{}, err
 	}
-	return s.delta(), nil
+	s.batches++
+	checked, div, fell := s.js.WatchdogCheck(s.wd, s.batches)
+	res := s.delta()
+	res.Repaired = uint64(len(issues))
+	res.Checked, res.Divergence, res.FellBack = checked, div, fell
+	return res, nil
 }
 
 // Graph returns the current graph version.
 func (s *System) Graph() *Graph { return s.js.Graph() }
 
-// State returns the converged per-vertex results (live slice).
-func (s *System) State() []float64 { return s.js.State() }
+// State returns a copy of the converged per-vertex results. The copy is
+// yours: mutating it cannot corrupt the engine between batches.
+func (s *System) State() []float64 {
+	return append([]float64(nil), s.js.State()...)
+}
+
+// StateRef returns the engine's live state slice without copying — the
+// zero-copy read path for large graphs. The slice is owned by the engine:
+// treat it as read-only and do not retain it across ApplyBatch calls.
+func (s *System) StateRef() []float64 { return s.js.State() }
+
+// Batches returns how many batches have been applied since construction (or
+// across a checkpoint/restore cycle); the watchdog cadence follows it.
+func (s *System) Batches() uint64 { return s.batches }
 
 // TotalStats returns cumulative counters since construction.
 func (s *System) TotalStats() Counters {
