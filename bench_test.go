@@ -8,7 +8,9 @@ package jetstream
 // reports come from `go run ./cmd/experiments`.
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"jetstream/internal/bench"
 	"jetstream/internal/event"
@@ -175,6 +177,43 @@ func BenchmarkInitialEvaluation(b *testing.B) {
 		events += res.Stats.EventsProcessed
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}
+
+// BenchmarkParallelism compares the functional engine's throughput across
+// worker counts on a LiveJournal-scale synthetic stream: a full static
+// evaluation plus an incremental batch train, reported in events per second.
+// Run p1 against p8 on a multi-core machine to measure the parallel speedup
+// (the CI bench job uploads this comparison as an artifact); on a single
+// hardware thread the worker goroutines serialize and the two converge.
+func BenchmarkParallelism(b *testing.B) {
+	g := RMAT(RMATConfig{Vertices: 100000, Edges: 800000, Seed: 1})
+	for _, p := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			var events uint64
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				sys, err := New(g, PageRank(0), WithTiming(false), WithParallelism(p))
+				if err != nil {
+					b.Fatal(err)
+				}
+				gen := NewStream(StreamConfig{BatchSize: 500, InsertFrac: 0.7, Seed: 2})
+				start := time.Now()
+				res := sys.RunInitial()
+				events += res.Stats.EventsProcessed
+				for j := 0; j < 4; j++ {
+					br, err := sys.ApplyBatch(gen.Next(sys.Graph()))
+					if err != nil {
+						b.Fatal(err)
+					}
+					events += br.Stats.EventsProcessed
+				}
+				elapsed += time.Since(start)
+			}
+			if secs := elapsed.Seconds(); secs > 0 {
+				b.ReportMetric(float64(events)/secs, "events/sec")
+			}
+		})
+	}
 }
 
 // BenchmarkStreamingBatch measures one incremental 100-update batch.

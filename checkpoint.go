@@ -33,7 +33,8 @@ var (
 	ErrCorruptCheckpoint = errors.New("jetstream: corrupt checkpoint")
 )
 
-const ckptVersion uint32 = 1
+// Version 2 added the Parallelism knob to the recorded configuration.
+const ckptVersion uint32 = 2
 
 var ckptCRC = crc64.MakeTable(crc64.ECMA)
 
@@ -155,6 +156,7 @@ func (s *System) Checkpoint(w io.Writer) error {
 	}
 	p.u8(boolByte(s.cfg.Engine.Timing))
 	p.u8(boolByte(s.cfg.Engine.DetailedTiming))
+	p.u32(uint32(s.cfg.Engine.Parallelism))
 	p.u32(uint32(s.ingest))
 	p.u64(uint64(s.wd.Every))
 	p.f64(s.wd.Epsilon)
@@ -288,6 +290,10 @@ func Restore(r io.Reader, opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	parallel, err := p.u32()
+	if err != nil {
+		return nil, err
+	}
 	ingest, err := p.u32()
 	if err != nil {
 		return nil, err
@@ -395,6 +401,7 @@ func Restore(r io.Reader, opts ...Option) (*System, error) {
 		WithOpt(OptLevel(opt)),
 		WithSlices(int(slices)),
 		WithTiming(timing != 0),
+		WithParallelism(int(parallel)),
 		WithIngest(IngestPolicy(ingest)),
 		WithWatchdog(WatchdogConfig{Every: int(wdEvery), Epsilon: wdEps, Sample: int(wdSample)}),
 	}

@@ -1,0 +1,140 @@
+package jetstream
+
+// Differential test harness for the parallel execution engine: every
+// algorithm is driven through the same randomized insert/delete batch stream
+// at parallelism 1, 2, and 8, and each configuration's streaming state is
+// checked against the sequential from-scratch reference solver
+// (internal/algo/ref.go, reached through System.Verify). Monotonic kernels
+// must match the reference exactly at every parallelism — they converge to
+// the unique fixpoint under any event ordering. Accumulative kernels carry
+// the epsilon-truncation bound (core.Tolerance): processing order decides
+// which sub-epsilon deltas are suppressed.
+
+import (
+	"fmt"
+	"testing"
+
+	"jetstream/internal/algo"
+	"jetstream/internal/core"
+)
+
+// difftestParallelisms are the worker counts the harness compares.
+var difftestParallelisms = [...]int{1, 2, 8}
+
+// difftestStream records a batch stream drawn against an evolving graph so
+// the identical updates can be replayed into every parallel configuration.
+func difftestStream(t *testing.T, a Algorithm, seed int64, batches, batchSize int) (*Graph, []Batch) {
+	t.Helper()
+	sym := algo.NeedsSymmetric(a)
+	g := RMAT(RMATConfig{Vertices: 300, Edges: 2400, Seed: seed})
+	if sym {
+		g = Symmetrize(g)
+	}
+	gen := NewStream(StreamConfig{BatchSize: batchSize, InsertFrac: 0.6, MaxWeight: 8, Symmetric: sym, Seed: seed + 1})
+
+	// Draw the stream against a throwaway system so each batch is valid for
+	// the graph version it will meet during replay.
+	sys, err := New(g, a, WithTiming(false), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RunInitial()
+	out := make([]Batch, batches)
+	for i := range out {
+		b := gen.Next(sys.Graph())
+		if _, err := sys.ApplyBatch(b); err != nil {
+			t.Fatalf("stream recording batch %d: %v", i, err)
+		}
+		out[i] = b
+	}
+	return g, out
+}
+
+func makeAlgByName(t *testing.T, name string) Algorithm {
+	t.Helper()
+	a, err := AlgorithmByName(name, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestDifferentialParallelism is the harness proper: state equivalence vs the
+// sequential reference for all six kernels at parallelism 1, 2, 8.
+func TestDifferentialParallelism(t *testing.T) {
+	for _, name := range algo.Names() {
+		t.Run(name, func(t *testing.T) {
+			a := makeAlgByName(t, name)
+			g, stream := difftestStream(t, a, 77, 10, 24)
+			exact := a.Class() == algo.Selective
+			for _, p := range difftestParallelisms {
+				t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+					sys, err := New(g, makeAlgByName(t, name), WithTiming(false), WithParallelism(p))
+					if err != nil {
+						t.Fatal(err)
+					}
+					sys.RunInitial()
+					for i, b := range stream {
+						if _, err := sys.ApplyBatch(b); err != nil {
+							t.Fatalf("batch %d: %v", i, err)
+						}
+						d := sys.Verify()
+						if exact {
+							if d != 0 {
+								t.Fatalf("batch %d: selective state deviates from reference by %v (want exact)", i, d)
+							}
+							continue
+						}
+						tol := core.Tolerance(sys.alg, sys.Graph().NumEdges(), i+2)
+						if d > tol {
+							t.Fatalf("batch %d: accumulative state deviates by %v > tolerance %v", i, d, tol)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestDifferentialParallelismAgainstSequentialState compares the parallel
+// engines' final states directly against the parallelism-1 run of the very
+// same stream — a tighter check than the reference solver, since the two
+// incremental runs share every intermediate graph version.
+func TestDifferentialParallelismAgainstSequentialState(t *testing.T) {
+	for _, name := range algo.Names() {
+		t.Run(name, func(t *testing.T) {
+			a := makeAlgByName(t, name)
+			g, stream := difftestStream(t, a, 31, 8, 20)
+
+			run := func(p int) []float64 {
+				sys, err := New(g, makeAlgByName(t, name), WithTiming(false), WithParallelism(p))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys.RunInitial()
+				for i, b := range stream {
+					if _, err := sys.ApplyBatch(b); err != nil {
+						t.Fatalf("p=%d batch %d: %v", p, i, err)
+					}
+				}
+				return sys.State()
+			}
+
+			seq := run(1)
+			for _, p := range difftestParallelisms[1:] {
+				par := run(p)
+				d := algo.MaxAbsDiff(seq, par)
+				if a.Class() == algo.Selective {
+					if d != 0 {
+						t.Errorf("p=%d: selective state differs from sequential by %v (want bitwise equal)", p, d)
+					}
+					continue
+				}
+				tol := core.Tolerance(a, g.NumEdges(), len(stream)+1)
+				if d > tol {
+					t.Errorf("p=%d: accumulative state differs from sequential by %v > %v", p, d, tol)
+				}
+			}
+		})
+	}
+}

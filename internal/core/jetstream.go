@@ -298,7 +298,7 @@ func (j *JetStream) applySelective(b graph.Batch, ng *graph.CSR) {
 	// Phase 5 — switch to the new graph structure and run the regular
 	// computation flow to convergence.
 	j.eng.SetGraph(ng, nil)
-	j.eng.RunPhase(j.eng.ComputeHandler())
+	j.eng.RunCompute()
 }
 
 // deleteHandler implements the Apply/Propagate logic of the recovery phase
@@ -458,7 +458,7 @@ func (j *JetStream) applyAccumulative(b graph.Batch, ng *graph.CSR) {
 		view.Mask(u)
 	}
 	j.eng.SetGraph(ng, view)
-	j.eng.RunPhase(j.eng.ComputeHandler())
+	j.eng.RunCompute()
 
 	// Phase 3 — while masked, each dirty vertex accumulated deltas it did
 	// not forward; forward them now against the new adjacency, exactly as
@@ -492,7 +492,7 @@ func (j *JetStream) applyAccumulative(b graph.Batch, ng *graph.CSR) {
 
 	// Phase 4 — switch to the (unmasked) new graph and recompute.
 	j.eng.SetGraph(ng, nil)
-	j.eng.RunPhase(j.eng.ComputeHandler())
+	j.eng.RunCompute()
 }
 
 // applyAccumulativeTwoPhase is the paper-literal Algorithm 6 (kept as an
@@ -548,7 +548,7 @@ func (j *JetStream) applyAccumulativeTwoPhase(b graph.Batch, ng *graph.CSR) {
 		view.Mask(u)
 	}
 	j.eng.SetGraph(j.g, view)
-	j.eng.RunPhase(j.eng.ComputeHandler())
+	j.eng.RunCompute()
 
 	// Phase 3 — re-insert every dirty vertex's new adjacency from the
 	// rolled-back state.
@@ -578,7 +578,7 @@ func (j *JetStream) applyAccumulativeTwoPhase(b graph.Batch, ng *graph.CSR) {
 
 	// Phase 4 — converge on the new graph.
 	j.eng.SetGraph(ng, nil)
-	j.eng.RunPhase(j.eng.ComputeHandler())
+	j.eng.RunCompute()
 }
 
 func sortVertexIDs(v []graph.VertexID) {

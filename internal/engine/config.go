@@ -49,6 +49,18 @@ type Config struct {
 	// JetStream+DAP), which sets the on-chip footprint per queue slot.
 	EventMode event.Mode
 
+	// Parallelism shards the functional compute phases across this many
+	// worker goroutines — one per simulated PE, multiplexed by the Go
+	// scheduler onto at most GOMAXPROCS cores. It defaults to Processors
+	// (the paper's 8 PEs). Parallel execution engages only with the timing
+	// model off: with timing on the engine stays sequential, because the
+	// cycle model reconstructs the hardware's parallelism from the
+	// deterministic event trace. 1 reproduces the sequential engine bit for
+	// bit; for selective (monotonic) kernels every parallelism converges to
+	// the identical fixpoint, while accumulative kernels agree within the
+	// epsilon-truncation bound (see core.Tolerance).
+	Parallelism int
+
 	// Timing enables the cycle model; with it off the engine is a pure
 	// functional executor (tests of algorithmic behaviour run this way).
 	Timing bool
@@ -76,6 +88,7 @@ func DefaultConfig() Config {
 		ScratchpadBytes:     2 << 10,
 		DRAM:                mem.DefaultDRAMConfig(),
 		EventMode:           event.ModeJetStream,
+		Parallelism:         8,
 		Timing:              true,
 	}
 }

@@ -47,6 +47,15 @@ type Engine struct {
 	active  int
 	pending [][]event.Event
 
+	// Ownership cache for the parallel compute path: vertex -> worker for
+	// ownerK workers (see parallel.go).
+	owner  []int32
+	ownerK int
+
+	// trace observes every event the sequential path processes, in order
+	// (golden-trace tests). Non-nil trace forces sequential execution.
+	trace func(event.Event)
+
 	// Per-row-batch recording for the timing layer.
 	batchTouched []graph.VertexID
 	batchWritten int
@@ -277,6 +286,9 @@ func (e *Engine) RunPhase(h Handler) {
 				e.batchGenT = e.batchGenT[:0]
 				for _, ev := range batch {
 					e.st.EventsProcessed++
+					if e.trace != nil {
+						e.trace(ev)
+					}
 					h(ev)
 				}
 				if e.tm != nil {
@@ -364,8 +376,14 @@ func (e *Engine) Repartition() int {
 	}
 	e.part = graph.PartitionGraph(e.csr, e.part.K)
 	e.active = 0
+	e.owner = nil // parallel ownership follows the same evolution cadence
 	return e.part.Cut
 }
+
+// SetTrace installs fn as the processed-event observer (nil to remove). While
+// a trace is installed the engine runs sequentially, so the observed order is
+// the deterministic drain order.
+func (e *Engine) SetTrace(fn func(event.Event)) { e.trace = fn }
 
 // EdgeCut returns the current partition's cross-slice edge count (-1 when
 // slicing is off).
@@ -404,5 +422,5 @@ func (e *Engine) ResetState() {
 func (e *Engine) RunToConvergence() {
 	e.ResetState()
 	e.SeedInitialEvents()
-	e.RunPhase(e.ComputeHandler())
+	e.RunCompute()
 }

@@ -17,6 +17,21 @@ func testConfig(timing bool) Config {
 	return cfg
 }
 
+// tolFor is the acceptable deviation from the reference solver: selective
+// kernels converge to the exact fixpoint under any processing order, while
+// accumulative kernels carry the epsilon-truncation reordering bound (each
+// suppressed sub-epsilon delta moves the sum by at most Epsilon, and the set
+// of suppressions depends on processing order — so the parallel default
+// deviates by O(Epsilon * edges)).
+func tolFor(a algo.Algorithm, g *graph.CSR) float64 {
+	if a.Class() == algo.Accumulative {
+		if t := a.Epsilon() * 10 * float64(g.NumEdges()); t > 1e-6 {
+			return t
+		}
+	}
+	return 1e-6
+}
+
 func makeAlg(t *testing.T, name string) algo.Algorithm {
 	t.Helper()
 	a, err := algo.New(name, 0, 1e-10)
@@ -42,7 +57,7 @@ func TestStaticConvergenceMatchesReference(t *testing.T) {
 			e := New(g, a, testConfig(false), nil)
 			e.RunToConvergence()
 			ref := algo.Reference(a, g)
-			if d := algo.MaxAbsDiff(e.State(), ref); d > 1e-6 {
+			if d := algo.MaxAbsDiff(e.State(), ref); d > tolFor(a, g) {
 				t.Errorf("%s: max diff vs reference = %v", name, d)
 			}
 		})
@@ -56,7 +71,7 @@ func TestStaticConvergenceOnWebGraph(t *testing.T) {
 		a := makeAlg(t, name)
 		e := New(g, a, testConfig(false), nil)
 		e.RunToConvergence()
-		if d := algo.MaxAbsDiff(e.State(), algo.Reference(a, g)); d > 1e-6 {
+		if d := algo.MaxAbsDiff(e.State(), algo.Reference(a, g)); d > tolFor(a, g) {
 			t.Errorf("%s: max diff = %v", name, d)
 		}
 	}

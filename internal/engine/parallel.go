@@ -1,0 +1,363 @@
+package engine
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"jetstream/internal/algo"
+	"jetstream/internal/event"
+	"jetstream/internal/graph"
+	"jetstream/internal/queue"
+	"jetstream/internal/stats"
+)
+
+// This file is the parallel multi-PE execution path of the functional engine.
+// The paper's accelerator runs 8 event-processing PEs concurrently over a
+// partitioned vertex space (Table 1); here each PE is one worker goroutine
+// that owns a disjoint vertex set (the BFS-grown partition of
+// internal/graph/partition.go), drains a private coalescing shard
+// (queue.Shard), and routes cross-partition propagations through per-pair
+// channels that mirror the internal/noc crossbar fabric.
+//
+// Correctness rests on three properties:
+//
+//   - Ownership: a vertex's state (and DAP dependency field) is read and
+//     written only by its owning worker, so the shared state slice needs no
+//     locks. Handlers never read another vertex's state — contributions
+//     arrive in the event payload, exactly as in the hardware.
+//   - Reordering: Reduce is commutative and associative (paper §3.1), so any
+//     interleaving converges to the same fixpoint — identical bits for
+//     selective kernels, within the epsilon-truncation bound for
+//     accumulative ones.
+//   - Quiescence: termination uses a distributed outstanding-event count
+//     instead of the sequential empty-queue check. Every live event record
+//     (queue slot, overflow entry, staged or in-flight cross event) holds
+//     one token on a shared counter; tokens are acquired before the record
+//     becomes visible and released only after it is retired (processed, or
+//     merged into an already-counted slot). A worker observing zero may
+//     therefore exit: nothing is live anywhere and no live record can mint
+//     new work.
+
+// chanCap bounds each per-pair channel. Sends are non-blocking (full
+// channels park events in the sender's staging buffer, retried next loop),
+// so the capacity only tunes batching, never correctness.
+const chanCap = 64
+
+// parallelRun is the shared context of one parallel compute phase.
+type parallelRun struct {
+	alg      algo.Algorithm
+	acc      bool
+	eps      float64
+	view     GraphView
+	state    []float64
+	dep      []graph.VertexID
+	sq       *queue.Sharded
+	trackDep bool
+
+	// outstanding is the quiescence barrier: live event records not yet
+	// retired. Workers exit when they observe zero.
+	outstanding atomic.Int64
+
+	// mail[i][j] carries event batches from worker i to worker j (i != j).
+	mail [][]chan []event.Event
+}
+
+// peWorker is one simulated processing engine.
+type peWorker struct {
+	id      int
+	run     *parallelRun
+	shard   *queue.Shard
+	st      stats.Counters          // merged into the engine's sink at phase end
+	staging [][]event.Event         // cross-partition events not yet sent, per destination
+	inbox   []chan []event.Event    // mail[*][id], nil at index id
+	outbox  []chan []event.Event    // mail[id][*], nil at index id
+
+	// Per-batch token bookkeeping (see quiescence comment above).
+	newLive int64 // records that became live while processing the current batch
+}
+
+// parallelism returns the effective worker count for the next compute phase:
+// the configured Parallelism, clamped to the vertex count, and 1 (sequential)
+// whenever a sequential-only feature is active — the timing model (which
+// reconstructs hardware parallelism from the deterministic trace), graph
+// slicing (§4.7 processes one slice at a time by design), or a trace hook.
+func (e *Engine) parallelism() int {
+	p := e.cfg.Parallelism
+	if p <= 1 || e.cfg.Timing || e.part != nil || e.trace != nil {
+		return 1
+	}
+	if n := e.csr.NumVertices(); p > n {
+		p = n
+	}
+	if p <= 1 {
+		return 1
+	}
+	return p
+}
+
+// RunCompute runs the regular computation phase (Algorithm 1 with
+// JetStream's request/dependency extensions) to quiescence, sharded across
+// Parallelism workers when the configuration allows it and sequentially
+// otherwise. Parallelism 1 is byte-for-byte the sequential engine.
+func (e *Engine) RunCompute() {
+	if p := e.parallelism(); p > 1 {
+		e.runComputeParallel(p)
+		return
+	}
+	e.RunPhase(e.ComputeHandler())
+}
+
+// ownership returns the cached vertex -> worker assignment for p workers,
+// computing it from the BFS-grown partitioner on first use. The assignment
+// is kept across graph versions (ownership only needs disjointness; the
+// vertex count never changes) and refreshed by Repartition, mirroring §4.7's
+// periodic re-partitioning.
+func (e *Engine) ownership(p int) []int32 {
+	if e.owner == nil || e.ownerK != p {
+		part := graph.PartitionGraph(e.csr, p)
+		e.owner = make([]int32, e.csr.NumVertices())
+		for v := range e.owner {
+			e.owner[v] = int32(part.SliceOf(graph.VertexID(v)))
+		}
+		e.ownerK = p
+	}
+	return e.owner
+}
+
+func (e *Engine) runComputeParallel(p int) {
+	e.st.Phases++
+	run := &parallelRun{
+		alg:      e.alg,
+		acc:      e.alg.Class() == algo.Accumulative,
+		eps:      e.alg.Epsilon(),
+		view:     e.view,
+		state:    e.state,
+		dep:      e.dep,
+		trackDep: e.dep != nil,
+	}
+	owner := e.ownership(p)
+	run.sq = queue.NewSharded(p, owner, e.cfg.Queue, queue.ReduceCoalesce(e.alg.Reduce), e.q.CoalescingEnabled())
+
+	// Move the phase's seed events (already counted as generated when they
+	// were emitted) from the sequential queue into the shards. Workers have
+	// not started, so token ordering is not yet a concern.
+	live := int64(0)
+	for _, ev := range e.q.TakeAll() {
+		if run.sq.Shard(run.sq.Owner(ev.Target)).Insert(ev) {
+			e.st.EventsCoalesced++
+		} else {
+			live++
+		}
+	}
+	run.outstanding.Store(live)
+	if live == 0 {
+		return
+	}
+
+	run.mail = make([][]chan []event.Event, p)
+	for i := 0; i < p; i++ {
+		run.mail[i] = make([]chan []event.Event, p)
+		for j := 0; j < p; j++ {
+			if i != j {
+				run.mail[i][j] = make(chan []event.Event, chanCap)
+			}
+		}
+	}
+	workers := make([]*peWorker, p)
+	for i := 0; i < p; i++ {
+		w := &peWorker{
+			id:      i,
+			run:     run,
+			shard:   run.sq.Shard(i),
+			staging: make([][]event.Event, p),
+			inbox:   make([]chan []event.Event, p),
+			outbox:  run.mail[i],
+		}
+		for j := 0; j < p; j++ {
+			if j != i {
+				w.inbox[j] = run.mail[j][i]
+			}
+		}
+		workers[i] = w
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for _, w := range workers {
+		go func(w *peWorker) {
+			defer wg.Done()
+			w.loop()
+		}(w)
+	}
+	wg.Wait()
+
+	// Merge the per-worker counters into the engine's sink (the per-worker
+	// accumulation that keeps internal/stats correct without contended
+	// atomics on the hot path).
+	for _, w := range workers {
+		e.st.Add(&w.st)
+	}
+}
+
+// loop is the worker's scheduler: drain inbound cross-partition events,
+// process local rows, flush outbound staging, and exit at global quiescence.
+func (w *peWorker) loop() {
+	for {
+		progress := w.drainInbox()
+		if !w.shard.Empty() {
+			w.drainRounds()
+			w.flushStaging()
+			continue
+		}
+		if w.flushStaging() || progress {
+			continue
+		}
+		if w.run.outstanding.Load() == 0 {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// drainRounds processes the shard until it is momentarily empty,
+// interleaving inbox drains so inbound events join the current cascade.
+func (w *peWorker) drainRounds() {
+	for !w.shard.Empty() {
+		n := w.shard.DrainRound(func(batch []event.Event) {
+			w.newLive = 0
+			for _, ev := range batch {
+				w.process(ev)
+			}
+			// One atomic per row batch: retire the batch's tokens and
+			// acquire tokens for every record it made live. The swap
+			// happens after the children exist (so the counter can never
+			// dip to zero while work remains) and before staged events are
+			// sent (staged records are counted, merely not yet visible).
+			if delta := w.newLive - int64(len(batch)); delta != 0 {
+				w.run.outstanding.Add(delta)
+			}
+		})
+		if n > 0 {
+			w.st.Rounds++
+		}
+		w.flushStaging()
+		w.drainInbox()
+	}
+}
+
+// process applies one event — the parallel twin of Engine.ComputeHandler,
+// using per-worker counters and ownership-routed emission.
+func (w *peWorker) process(ev event.Event) {
+	r := w.run
+	v := ev.Target
+	w.st.EventsProcessed++
+	w.st.VertexReads++
+	old := r.state[v]
+	if r.acc {
+		r.state[v] = r.alg.Reduce(old, ev.Value)
+		w.st.VertexWrites++
+		w.propagate(v, ev.Value)
+		return
+	}
+	nw := r.alg.Reduce(old, ev.Value)
+	changed := nw != old
+	if changed {
+		r.state[v] = nw
+		w.st.VertexWrites++
+		if r.trackDep {
+			r.dep[v] = ev.Source
+		}
+	}
+	if changed || ev.IsRequest() {
+		w.propagate(v, nw)
+	}
+}
+
+// propagate sends x from u along every out-edge in the active view — the
+// parallel twin of Engine.PropagateValue.
+func (w *peWorker) propagate(u graph.VertexID, x float64) {
+	r := w.run
+	deg := r.view.OutDegree(u)
+	if deg == 0 {
+		return
+	}
+	wsum := r.view.OutWeightSum(u)
+	r.view.OutEdges(u, func(dst graph.VertexID, wt graph.Weight) {
+		val := r.alg.Propagate(u, x, wt, deg, wsum)
+		if r.acc && math.Abs(val) <= r.eps {
+			return
+		}
+		w.emit(event.Event{Target: dst, Value: val, Source: u})
+	})
+	w.st.EdgeReads += uint64(deg)
+}
+
+// emit routes ev to its owner: the local shard directly, other workers via
+// the staged per-pair channels.
+func (w *peWorker) emit(ev event.Event) {
+	w.st.EventsGenerated++
+	r := w.run
+	d := r.sq.Owner(ev.Target)
+	if d == w.id {
+		if w.shard.Insert(ev) {
+			w.st.EventsCoalesced++
+		} else {
+			w.newLive++
+		}
+		return
+	}
+	w.staging[d] = append(w.staging[d], ev)
+	w.newLive++
+}
+
+// flushStaging attempts a non-blocking send of every staged batch. Full
+// channels keep their batch staged for the next attempt, which cannot
+// deadlock: every worker drains its inbox on every loop iteration.
+func (w *peWorker) flushStaging() bool {
+	sent := false
+	for d, evs := range w.staging {
+		if len(evs) == 0 {
+			continue
+		}
+		select {
+		case w.outbox[d] <- evs:
+			w.staging[d] = nil
+			sent = true
+		default:
+		}
+	}
+	return sent
+}
+
+// drainInbox receives every currently available inbound batch and inserts it
+// into the local shard, releasing the tokens of records that coalesced away.
+func (w *peWorker) drainInbox() bool {
+	got := false
+	for _, ch := range w.inbox {
+		if ch == nil {
+			continue
+		}
+		for {
+			select {
+			case evs := <-ch:
+				got = true
+				merged := int64(0)
+				for _, ev := range evs {
+					if w.shard.Insert(ev) {
+						w.st.EventsCoalesced++
+						merged++
+					}
+				}
+				if merged > 0 {
+					w.run.outstanding.Add(-merged)
+				}
+				continue
+			default:
+			}
+			break
+		}
+	}
+	return got
+}

@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"testing"
+
+	"jetstream/internal/algo"
+	"jetstream/internal/event"
+	"jetstream/internal/graph"
+	"jetstream/internal/stats"
+)
+
+func parallelConfig(p int) Config {
+	cfg := DefaultConfig()
+	cfg.Timing = false
+	cfg.Parallelism = p
+	return cfg
+}
+
+// TestParallelStaticMatchesSequential is the engine-level differential: a
+// from-scratch convergence at parallelism 8 against the same run at 1 —
+// bitwise for selective kernels, within the truncation bound for
+// accumulative ones.
+func TestParallelStaticMatchesSequential(t *testing.T) {
+	for _, name := range algo.Names() {
+		t.Run(name, func(t *testing.T) {
+			a := makeAlg(t, name)
+			g := testGraphFor(a, 42)
+			seq := New(g, a, parallelConfig(1), nil)
+			seq.RunToConvergence()
+			par := New(g, makeAlg(t, name), parallelConfig(8), nil)
+			par.RunToConvergence()
+			d := algo.MaxAbsDiff(seq.State(), par.State())
+			if a.Class() == algo.Selective {
+				if d != 0 {
+					t.Errorf("selective parallel state differs from sequential by %v", d)
+				}
+			} else if tol := tolFor(a, g); d > tol {
+				t.Errorf("accumulative parallel state differs by %v > %v", d, tol)
+			}
+		})
+	}
+}
+
+// TestParallelismGates verifies every condition that must force the
+// sequential path: an explicit 1, the timing model, slicing, a trace hook,
+// and the vertex-count clamp.
+func TestParallelismGates(t *testing.T) {
+	a := algo.NewSSSP(0)
+	g := testGraphFor(a, 3)
+
+	if e := New(g, a, parallelConfig(1), nil); e.parallelism() != 1 {
+		t.Error("Parallelism 1 did not gate to sequential")
+	}
+	if e := New(g, a, parallelConfig(8), nil); e.parallelism() != 8 {
+		t.Errorf("plain functional config: parallelism %d, want 8", e.parallelism())
+	}
+
+	timed := parallelConfig(8)
+	timed.Timing = true
+	if e := New(g, a, timed, nil); e.parallelism() != 1 {
+		t.Error("timing model did not gate to sequential")
+	}
+
+	if e := New(g, a, parallelConfig(8), nil, WithPartition(2)); e.parallelism() != 1 {
+		t.Error("slicing did not gate to sequential")
+	}
+
+	e := New(g, a, parallelConfig(8), nil)
+	e.SetTrace(func(event.Event) {})
+	if e.parallelism() != 1 {
+		t.Error("trace hook did not gate to sequential")
+	}
+	e.SetTrace(nil)
+	if e.parallelism() != 8 {
+		t.Error("removing the trace hook did not restore parallelism")
+	}
+
+	tiny := graph.MustBuild(3, []graph.Edge{{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1}})
+	if got := New(tiny, a, parallelConfig(8), nil).parallelism(); got != 3 {
+		t.Errorf("vertex clamp: parallelism %d on a 3-vertex graph, want 3", got)
+	}
+}
+
+// TestParallelOwnershipCoversAllVertices checks the cached partition is a
+// total disjoint assignment and is invalidated when worker count changes.
+func TestParallelOwnershipCoversAllVertices(t *testing.T) {
+	a := algo.NewSSSP(0)
+	g := testGraphFor(a, 5)
+	e := New(g, a, parallelConfig(4), nil)
+	owner := e.ownership(4)
+	if len(owner) != g.NumVertices() {
+		t.Fatalf("ownership covers %d vertices, want %d", len(owner), g.NumVertices())
+	}
+	counts := make([]int, 4)
+	for v, o := range owner {
+		if o < 0 || o >= 4 {
+			t.Fatalf("vertex %d owned by %d, want [0,4)", v, o)
+		}
+		counts[o]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("worker %d owns no vertices", i)
+		}
+	}
+	again := e.ownership(4)
+	if &again[0] != &owner[0] {
+		t.Error("same worker count recomputed the ownership map")
+	}
+	if reK := e.ownership(2); len(reK) != g.NumVertices() {
+		t.Error("re-keyed ownership incomplete")
+	} else if e.ownerK != 2 {
+		t.Errorf("ownerK = %d after re-key, want 2", e.ownerK)
+	}
+}
+
+// TestParallelCountersConserveEvents: at quiescence the conservation law
+// holds exactly at any parallelism, and the compute-phase identity
+// VertexReads == EventsProcessed survives the per-worker merge.
+func TestParallelCountersConserveEvents(t *testing.T) {
+	for _, p := range []int{1, 2, 8} {
+		a := algo.NewSSSP(0)
+		g := testGraphFor(a, 42)
+		st := &stats.Counters{}
+		e := New(g, a, parallelConfig(p), st)
+		e.RunToConvergence()
+		if r := st.EventsUnaccounted(); r != 0 {
+			t.Errorf("p=%d: %d events unaccounted (generated %d, processed %d, coalesced %d)",
+				p, r, st.EventsGenerated, st.EventsProcessed, st.EventsCoalesced)
+		}
+		if st.VertexReads != st.EventsProcessed {
+			t.Errorf("p=%d: VertexReads %d != EventsProcessed %d", p, st.VertexReads, st.EventsProcessed)
+		}
+		if st.Phases == 0 || st.Rounds == 0 {
+			t.Errorf("p=%d: phases/rounds not counted (%d/%d)", p, st.Phases, st.Rounds)
+		}
+	}
+}
+
+// TestParallelDependencyTracking: DAP dependency fields must be maintained
+// by the owning workers and remain consistent with the converged state —
+// every reached vertex records a source whose state plus edge weight
+// reproduces it.
+func TestParallelDependencyTracking(t *testing.T) {
+	a := algo.NewSSSP(0)
+	g := testGraphFor(a, 8)
+	e := New(g, a, parallelConfig(8), nil, WithDependencyTracking())
+	e.RunToConvergence()
+	dep := e.Dep()
+	state := e.State()
+	for v := range state {
+		if v == 0 || state[v] == a.Identity() {
+			continue
+		}
+		src := dep[v]
+		if src == event.NoSource {
+			t.Fatalf("reached vertex %d has no dependency source", v)
+		}
+		w, ok := g.HasEdge(src, uint32(v))
+		if !ok {
+			t.Fatalf("vertex %d depends on %d but no such edge exists", v, src)
+		}
+		if got := state[src] + w; got != state[v] {
+			t.Errorf("vertex %d: dep %d gives %v, state is %v", v, src, got, state[v])
+		}
+	}
+}

@@ -87,6 +87,17 @@ func DefaultConfig() Config {
 	return Config{Accel: core.DefaultConfig(), Link: DefaultLink(), SwapFullCSR: true, Retry: DefaultRetry()}
 }
 
+// FunctionalConfig is DefaultConfig with the cycle model off: the deployment
+// shape for using the session as a fast streaming-graph engine rather than a
+// hardware simulator. With timing disabled the device computes with the
+// parallel multi-PE engine (Accel.Engine.Parallelism workers, default 8),
+// so this is also the throughput configuration.
+func FunctionalConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Accel.Engine.Timing = false
+	return cfg
+}
+
 // Result reports one operation end to end.
 type Result struct {
 	Version      int

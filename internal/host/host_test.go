@@ -132,3 +132,34 @@ func mustLatest(t *testing.T, s *Session) *graph.CSR {
 	}
 	return g
 }
+
+// TestFunctionalSessionParallel drives a full host session on the functional
+// (timing-off) configuration, where the device computes with the parallel
+// multi-PE engine, and checks the end-to-end results stay exact for a
+// selective kernel.
+func TestFunctionalSessionParallel(t *testing.T) {
+	g := graph.RMAT(graph.RMATConfig{Vertices: 400, Edges: 3000, Seed: 1})
+	cfg := FunctionalConfig()
+	if cfg.Accel.Engine.Timing {
+		t.Fatal("FunctionalConfig left the timing model on")
+	}
+	s, err := NewSession(g, algo.NewSSSP(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+	gen := stream.NewGenerator(stream.Config{BatchSize: 40, InsertFrac: 0.6, MaxWeight: 5, Seed: 3})
+	for i := 0; i < 5; i++ {
+		if _, err := s.Stream(gen.Next(mustLatest(t, s))); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if d := s.Verify(); d != 0 {
+			t.Fatalf("batch %d: parallel session diverged from reference by %v", i, d)
+		}
+	}
+	if r := s.Stats().EventsUnaccounted(); r != 0 {
+		t.Errorf("%d events unaccounted at quiescence", r)
+	}
+}

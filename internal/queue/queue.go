@@ -173,6 +173,24 @@ func (q *Coalescing) DrainRound(fn func(batch []event.Event)) int {
 	return emitted
 }
 
+// TakeAll removes and returns every pending event — slots in ascending
+// vertex order, then the overflow FIFO — without counting a drain round.
+// The parallel engine uses it to move a phase's seed events into the per-PE
+// shards before the workers start.
+func (q *Coalescing) TakeAll() []event.Event {
+	out := make([]event.Event, 0, q.Len())
+	for v := range q.slots {
+		if q.valid[v] {
+			out = append(out, q.slots[v])
+			q.valid[v] = false
+			q.count--
+		}
+	}
+	out = append(out, q.overflow...)
+	q.overflow = nil
+	return out
+}
+
 // Drain runs DrainRound until the queue is empty, which is the engines'
 // convergence loop ("processing continues until no more events are
 // available"). Returns total events emitted.

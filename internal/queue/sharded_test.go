@@ -1,0 +1,140 @@
+package queue
+
+import (
+	"testing"
+
+	"jetstream/internal/event"
+)
+
+func shardMinCoalesce(old, in event.Event) event.Event {
+	if in.Value < old.Value {
+		old.Value = in.Value
+		old.Source = in.Source
+	}
+	old.Flags |= in.Flags
+	return old
+}
+
+// stripedOwner assigns vertex v to shard v % k.
+func stripedOwner(n, k int) []int32 {
+	owner := make([]int32, n)
+	for v := range owner {
+		owner[v] = int32(v % k)
+	}
+	return owner
+}
+
+func TestShardedRoutingAndLen(t *testing.T) {
+	const n, k = 10, 3
+	sq := NewSharded(k, stripedOwner(n, k), Config{RowSize: 4}, shardMinCoalesce, true)
+	if sq.K() != k {
+		t.Fatalf("K() = %d, want %d", sq.K(), k)
+	}
+	for v := 0; v < n; v++ {
+		if got, want := sq.Owner(uint32(v)), v%k; got != want {
+			t.Fatalf("Owner(%d) = %d, want %d", v, got, want)
+		}
+		sq.Shard(sq.Owner(uint32(v))).Insert(event.New(uint32(v), float64(v)))
+	}
+	if sq.Len() != n {
+		t.Fatalf("Len() = %d, want %d", sq.Len(), n)
+	}
+	// Shard 0 owns 0,3,6,9; shard 1 owns 1,4,7; shard 2 owns 2,5,8.
+	for i, want := range []int{4, 3, 3} {
+		if got := sq.Shard(i).Len(); got != want {
+			t.Errorf("shard %d Len = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestShardCoalescesLikeSequentialQueue(t *testing.T) {
+	sq := NewSharded(2, stripedOwner(8, 2), Config{RowSize: 4}, shardMinCoalesce, true)
+	s := sq.Shard(0)
+	if s.Insert(event.Event{Target: 4, Value: 9, Source: 1}) {
+		t.Fatal("first insert reported coalesced")
+	}
+	if !s.Insert(event.Event{Target: 4, Value: 3, Source: 2}) {
+		t.Fatal("second insert for the occupied slot not coalesced")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after coalescing, want 1", s.Len())
+	}
+	var got []event.Event
+	s.DrainRound(func(b []event.Event) { got = append(got, b...) })
+	if len(got) != 1 || got[0].Value != 3 || got[0].Source != 2 {
+		t.Fatalf("coalesced event = %+v, want value 3 from source 2", got)
+	}
+}
+
+func TestShardOverflowWhenCoalescingOff(t *testing.T) {
+	sq := NewSharded(1, stripedOwner(4, 1), Config{RowSize: 4}, shardMinCoalesce, false)
+	s := sq.Shard(0)
+	s.Insert(event.New(2, 1))
+	if s.Insert(event.New(2, 2)) {
+		t.Fatal("non-coalescing shard reported a merge")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (slot + overflow)", s.Len())
+	}
+	var got []float64
+	s.DrainRound(func(b []event.Event) {
+		for _, e := range b {
+			got = append(got, e.Value)
+		}
+	})
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("drain order %v, want slot first then overflow FIFO", got)
+	}
+}
+
+func TestShardDrainRoundAscendingLocalOrder(t *testing.T) {
+	// Shard 0 of a 2-way stripe over 8 vertices owns 0,2,4,6 at local
+	// indices 0..3; a drain must emit them in that (ascending) order in
+	// RowSize batches.
+	sq := NewSharded(2, stripedOwner(8, 2), Config{RowSize: 2}, shardMinCoalesce, true)
+	s := sq.Shard(0)
+	for _, v := range []uint32{6, 0, 4, 2} {
+		s.Insert(event.New(v, float64(v)))
+	}
+	var order []uint32
+	var batches int
+	n := s.DrainRound(func(b []event.Event) {
+		batches++
+		if len(b) > 2 {
+			t.Fatalf("batch of %d exceeds RowSize 2", len(b))
+		}
+		for _, e := range b {
+			order = append(order, e.Target)
+		}
+	})
+	if n != 4 || batches != 2 {
+		t.Fatalf("emitted %d events in %d batches, want 4 in 2", n, batches)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("drain order %v not ascending", order)
+		}
+	}
+	if !s.Empty() {
+		t.Fatal("shard not empty after full drain")
+	}
+}
+
+func TestShardedRejectsBadOwnership(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range owner accepted")
+		}
+	}()
+	NewSharded(2, []int32{0, 2}, Config{RowSize: 4}, shardMinCoalesce, true)
+}
+
+func TestShardInsertOutOfRangePanics(t *testing.T) {
+	sq := NewSharded(1, stripedOwner(2, 1), Config{RowSize: 4}, shardMinCoalesce, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range target accepted")
+		}
+	}()
+	sq.Shard(0).Insert(event.New(7, 1))
+}

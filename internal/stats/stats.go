@@ -107,6 +107,15 @@ func (c *Counters) Reset() { *c = Counters{} }
 // VertexAccesses is the Fig 9 numerator: total vertex-state touches.
 func (c *Counters) VertexAccesses() uint64 { return c.VertexReads + c.VertexWrites }
 
+// EventsUnaccounted is the queue conservation residual: at quiescence every
+// generated event has either been processed or coalesced into one that was,
+// so the residual must be zero — at any parallelism. The quiescence tests
+// assert it; a nonzero value means events were lost or double-counted
+// somewhere between emission and retirement.
+func (c *Counters) EventsUnaccounted() int64 {
+	return int64(c.EventsGenerated) - int64(c.EventsProcessed) - int64(c.EventsCoalesced)
+}
+
 // MemoryUtilization is the Fig 11 metric: bytes consumed by the compute
 // engine divided by bytes transferred from off-chip memory. Returns 0 when no
 // traffic occurred.

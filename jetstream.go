@@ -133,6 +133,7 @@ type options struct {
 	slices   int
 	timing   bool
 	detailed bool
+	parallel int
 	accel    *engine.Config
 	ingest   IngestPolicy
 	watchdog WatchdogConfig
@@ -157,6 +158,18 @@ func WithTiming(on bool) Option { return func(op *options) { op.timing = on } }
 // resolves port-contention hot spots.
 func WithDetailedTiming() Option {
 	return func(op *options) { op.detailed = true }
+}
+
+// WithParallelism shards the functional compute phases across p worker
+// goroutines, one per simulated PE (see AcceleratorConfig.Parallelism). The
+// default is the modeled PE count (8). p = 1 reproduces the sequential engine
+// bit for bit; higher parallelism converges to the identical fixpoint for the
+// monotonic kernels (SSSP/SSWP/BFS/CC) and agrees within the epsilon bound
+// for the accumulative ones (PageRank/Adsorption). Parallel execution only
+// engages with the timing model off — WithTiming(false) — and without
+// slicing; otherwise the engine stays sequential regardless of p.
+func WithParallelism(p int) Option {
+	return func(op *options) { op.parallel = p }
 }
 
 // WithAccelerator overrides the hardware configuration (the event mode and
@@ -191,8 +204,12 @@ type Result struct {
 	Stats Counters
 
 	// Repaired counts the invalid updates dropped by the Repair ingest policy
-	// for this batch.
+	// for this batch. It always equals Stats.UpdatesDropped for the same
+	// batch: drop accounting is per batch and only for batches that applied.
 	Repaired uint64
+	// Issues details each update the Repair policy dropped from this batch,
+	// in batch order — the deterministic per-batch repair report.
+	Issues []BatchIssue
 	// Checked reports whether the divergence watchdog ran after this batch.
 	Checked bool
 	// Divergence is the deviation the watchdog measured (when Checked).
@@ -237,6 +254,9 @@ func New(g *Graph, a Algorithm, opts ...Option) (*System, error) {
 	cfg.Slices = op.slices
 	cfg.Engine.Timing = op.timing
 	cfg.Engine.DetailedTiming = op.detailed
+	if op.parallel > 0 {
+		cfg.Engine.Parallelism = op.parallel
+	}
 	st := &stats.Counters{}
 	return &System{
 		js:     core.New(g, a, cfg, st),
@@ -284,23 +304,31 @@ func (s *System) ApplyBatch(b Batch) (Result, error) {
 	// normalized to the stored edge weight, so a stale weight cannot poison
 	// the value-aware recovery.
 	clean, issues := s.js.Graph().SanitizeBatch(b)
-	if len(issues) > 0 {
-		if s.ingest == Strict {
-			return Result{}, &BatchError{Issues: issues}
-		}
-		s.st.UpdatesDropped += uint64(len(issues))
-		s.st.BatchesRepaired++
+	if len(issues) > 0 && s.ingest == Strict {
+		return Result{}, &BatchError{Issues: issues}
 	}
 	if err := s.js.ApplyBatch(clean); err != nil {
 		return Result{}, err
+	}
+	// Count repairs only after the batch actually applied, so each batch's
+	// Stats delta carries exactly its own dropped-update count (a failed
+	// apply leaves the global counters untouched).
+	if len(issues) > 0 {
+		s.st.UpdatesDropped += uint64(len(issues))
+		s.st.BatchesRepaired++
 	}
 	s.batches++
 	checked, div, fell := s.js.WatchdogCheck(s.wd, s.batches)
 	res := s.delta()
 	res.Repaired = uint64(len(issues))
+	res.Issues = issues
 	res.Checked, res.Divergence, res.FellBack = checked, div, fell
 	return res, nil
 }
+
+// Parallelism reports the effective compute-phase worker count the system was
+// configured with.
+func (s *System) Parallelism() int { return s.cfg.Engine.Parallelism }
 
 // Graph returns the current graph version.
 func (s *System) Graph() *Graph { return s.js.Graph() }
