@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"jetstream/internal/bench"
+	"jetstream/internal/core"
 	"jetstream/internal/event"
 	"jetstream/internal/mem"
 	"jetstream/internal/queue"
@@ -305,4 +306,62 @@ func BenchmarkDetailedTimingBatch(b *testing.B) {
 		cycles += res.Cycles
 	}
 	b.ReportMetric(float64(cycles)/float64(b.N), "modelcycles/batch")
+}
+
+// BenchmarkMetricsOverhead measures the cost of the always-on observability
+// layer on the functional streaming path: "bare-engine" drives the core
+// engine directly with no registry attached, "noop-observer" runs the full
+// public System — metrics registry, per-batch latency histogram, and a
+// do-nothing WithObserver callback. The acceptance budget for the gap is
+// <=3% events/sec; the CI bench job uploads the comparison as an artifact.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	g := RMAT(RMATConfig{Vertices: 100000, Edges: 800000, Seed: 1})
+	report := func(b *testing.B, events uint64, elapsed time.Duration) {
+		if secs := elapsed.Seconds(); secs > 0 {
+			b.ReportMetric(float64(events)/secs, "events/sec")
+		}
+	}
+	b.Run("bare-engine", func(b *testing.B) {
+		var events uint64
+		var elapsed time.Duration
+		for i := 0; i < b.N; i++ {
+			st := &stats.Counters{}
+			cfg := core.ConfigWithOpt(OptDAP)
+			cfg.Engine.Timing = false
+			js := core.New(g, PageRank(0), cfg, st)
+			gen := NewStream(StreamConfig{BatchSize: 500, InsertFrac: 0.7, Seed: 2})
+			start := time.Now()
+			js.RunInitial()
+			for j := 0; j < 4; j++ {
+				if err := js.ApplyBatch(gen.Next(js.Graph())); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed += time.Since(start)
+			events += st.EventsProcessed
+		}
+		report(b, events, elapsed)
+	})
+	b.Run("noop-observer", func(b *testing.B) {
+		var events uint64
+		var elapsed time.Duration
+		for i := 0; i < b.N; i++ {
+			sys, err := New(g, PageRank(0), WithTiming(false),
+				WithObserver(ObserverFunc(func(TraceEvent) {})))
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := NewStream(StreamConfig{BatchSize: 500, InsertFrac: 0.7, Seed: 2})
+			start := time.Now()
+			sys.RunInitial()
+			for j := 0; j < 4; j++ {
+				if _, err := sys.ApplyBatch(gen.Next(sys.Graph())); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed += time.Since(start)
+			events += sys.TotalStats().EventsProcessed
+		}
+		report(b, events, elapsed)
+	})
 }

@@ -401,9 +401,16 @@ func Restore(r io.Reader, opts ...Option) (*System, error) {
 		WithOpt(OptLevel(opt)),
 		WithSlices(int(slices)),
 		WithTiming(timing != 0),
-		WithParallelism(int(parallel)),
 		WithIngest(IngestPolicy(ingest)),
 		WithWatchdog(WatchdogConfig{Every: int(wdEvery), Epsilon: wdEps, Sample: int(wdSample)}),
+	}
+	// Old checkpoints record the configured parallelism even when timing or
+	// slicing kept it inert; passing it back through WithParallelism would now
+	// trip ErrConfigConflict, so only replay it when it could have engaged and
+	// restore the recorded value directly otherwise.
+	replayParallel := timing == 0 && slices <= 1
+	if replayParallel {
+		all = append(all, WithParallelism(int(parallel)))
 	}
 	if detailed != 0 {
 		all = append(all, WithDetailedTiming())
@@ -412,6 +419,9 @@ func Restore(r io.Reader, opts ...Option) (*System, error) {
 	sys, err := New(g, alg, all...)
 	if err != nil {
 		return nil, fmt.Errorf("jetstream: restore: %w", err)
+	}
+	if !replayParallel {
+		sys.cfg.Engine.Parallelism = int(parallel)
 	}
 
 	engDep := sys.js.Engine().Dep()

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 
 	"jetstream"
@@ -40,10 +42,13 @@ func main() {
 		timing   = flag.Bool("timing", true, "enable the cycle-accurate timing model")
 		verify   = flag.Bool("verify", false, "validate against a from-scratch solver after each batch")
 		stats    = flag.Bool("stats", false, "print full work counters per batch")
+		metrics  = flag.String("metrics", "", "serve Prometheus metrics on this address (e.g. :9090)")
 	)
 	flag.Parse()
 
-	a, err := jetstream.AlgorithmByName(*algoName, uint32(*root), *eps)
+	a, err := jetstream.NewAlgorithm(jetstream.AlgorithmSpec{
+		Name: *algoName, Root: uint32(*root), Eps: *eps,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,6 +81,19 @@ func main() {
 	sys, err := jetstream.New(g, a, opts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", sys.MetricsHandler())
+		expvar.Publish("jetstream", sys.Expvar())
+		mux.Handle("/debug/vars", expvar.Handler())
+		go func() {
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		fmt.Printf("serving metrics on http://%s/metrics\n", *metrics)
 	}
 
 	fmt.Printf("graph: %d vertices, %d edges; algorithm: %s (%s deletes)\n",

@@ -22,7 +22,11 @@ func main() {
 	g := jetstream.RMAT(jetstream.RMATConfig{Vertices: 5000, Edges: 40000, Seed: 7})
 
 	// A standing shortest-paths query rooted at vertex 0.
-	sys, err := jetstream.New(g, jetstream.SSSP(0))
+	algo, err := jetstream.NewAlgorithm(jetstream.AlgorithmSpec{Name: "sssp", Root: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := jetstream.New(g, algo)
 	if err != nil {
 		log.Fatal(err)
 	}

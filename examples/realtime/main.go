@@ -25,9 +25,13 @@ func main() {
 	fmt.Println("streaming BFS over a social graph; fixed total of", totalUpdates, "updates")
 	fmt.Printf("%-12s %-10s %-16s %-16s\n", "batch size", "batches", "time/batch", "time/update")
 
+	bfs, err := jetstream.NewAlgorithm(jetstream.AlgorithmSpec{Name: "bfs", Root: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, batchSize := range []int{512, 128, 32, 8, 1} {
 		g := jetstream.RMAT(jetstream.RMATConfig{Vertices: 6000, Edges: 50000, Seed: 9})
-		sys, err := jetstream.New(g, jetstream.BFS(0))
+		sys, err := jetstream.New(g, bfs)
 		if err != nil {
 			log.Fatal(err)
 		}

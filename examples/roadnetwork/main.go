@@ -26,7 +26,11 @@ func main() {
 	roads := jetstream.Grid(jetstream.GridConfig{Rows: 70, Cols: 70, Diagonal: 0.1, MaxWeight: 12, Seed: 5})
 	depot := uint32(0)
 
-	sys, err := jetstream.New(roads, jetstream.SSSP(depot))
+	routes, err := jetstream.NewAlgorithm(jetstream.AlgorithmSpec{Name: "sssp", Root: depot})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := jetstream.New(roads, routes)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +56,7 @@ func main() {
 
 		// What a static accelerator would pay: full recomputation on the
 		// mutated network.
-		cold, err := jetstream.New(sys.Graph(), jetstream.SSSP(depot))
+		cold, err := jetstream.New(sys.Graph(), routes)
 		if err != nil {
 			log.Fatal(err)
 		}

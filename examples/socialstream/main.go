@@ -24,7 +24,11 @@ func main() {
 	base := jetstream.RMAT(jetstream.RMATConfig{Vertices: 4000, Edges: 30000, Seed: 3})
 
 	// PageRank runs on the directed follower graph.
-	ranks, err := jetstream.New(base, jetstream.PageRank(1e-7))
+	pr, err := jetstream.NewAlgorithm(jetstream.AlgorithmSpec{Name: "pagerank", Eps: 1e-7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranks, err := jetstream.New(base, pr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,7 +37,11 @@ func main() {
 	// Communities run on the symmetrized friendship view; its updates must
 	// stay symmetric, so it gets its own mirrored stream.
 	friends := jetstream.Symmetrize(base)
-	comms, err := jetstream.New(friends, jetstream.CC())
+	cc, err := jetstream.NewAlgorithm(jetstream.AlgorithmSpec{Name: "cc"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	comms, err := jetstream.New(friends, cc)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -28,6 +28,7 @@ import (
 	"jetstream/internal/engine"
 	"jetstream/internal/event"
 	"jetstream/internal/graph"
+	"jetstream/internal/obs"
 	"jetstream/internal/stats"
 )
 
@@ -121,6 +122,11 @@ type JetStream struct {
 	// sets it to the cycles accumulated before the process died so cumulative
 	// totals continue across restarts.
 	cycleBase uint64
+
+	// tr receives scheduler-level trace events (watchdog checks, fallback
+	// triggers); obs.Nop until Instrument attaches a real tracer.
+	tr    obs.Tracer
+	trSeq uint64
 }
 
 // New builds a JetStream instance for query alg over initial graph g. st may
@@ -153,7 +159,31 @@ func New(g *graph.CSR, alg algo.Algorithm, cfg Config, st *stats.Counters) *JetS
 	if cfg.NoCoalesce {
 		j.eng.Queue().SetCoalescing(false)
 	}
+	j.tr = obs.Nop
 	return j
+}
+
+// Instrument attaches observability: metrics series register on reg and
+// trace events flow to tr (nil for metrics only). Attach before RunInitial
+// so the per-worker attribution baseline covers the whole run.
+func (j *JetStream) Instrument(reg *obs.Registry, tr obs.Tracer) {
+	if tr == nil {
+		tr = obs.Nop
+	}
+	j.tr = tr
+	j.eng.SetObs(engine.NewObs(reg, tr))
+}
+
+// FlushObs publishes pending per-worker metric attributions (see
+// engine.FlushObs). The scheduler calls it at operation boundaries; exposed
+// for hosts that drive the engine directly.
+func (j *JetStream) FlushObs() { j.eng.FlushObs() }
+
+func (j *JetStream) trace(e obs.TraceEvent) {
+	j.trSeq++
+	e.Seq = j.trSeq
+	e.Worker = -1
+	j.tr.Trace(e)
 }
 
 // setCoalescing toggles queue coalescing, respecting the NoCoalesce
@@ -188,6 +218,7 @@ func (j *JetStream) Engine() *engine.Engine { return j.eng }
 // GraphPulse, §4.6.1).
 func (j *JetStream) RunInitial() {
 	j.eng.RunToConvergence()
+	j.eng.FlushObs()
 }
 
 // ApplyBatch incrementally updates the query results for graph version
@@ -208,6 +239,7 @@ func (j *JetStream) ApplyBatch(b graph.Batch) error {
 		j.applySelective(b, ng)
 	}
 	j.g = ng
+	j.eng.FlushObs()
 	return nil
 }
 
@@ -639,8 +671,10 @@ func (j *JetStream) VerifySample(sample int) float64 {
 // stats sink; afterwards the stream resumes incrementally as usual.
 func (j *JetStream) ColdStart() {
 	j.st.ColdStartFallbacks++
+	j.trace(obs.TraceEvent{Kind: obs.KindFallback, A: j.st.ColdStartFallbacks})
 	j.eng.SetGraph(j.g, nil)
 	j.eng.RunToConvergence()
+	j.eng.FlushObs()
 }
 
 // WatchdogConfig parameterizes the divergence watchdog: every Every batches
@@ -671,6 +705,7 @@ func (j *JetStream) WatchdogCheck(cfg WatchdogConfig, batchIndex uint64) (checke
 		return false, 0, false
 	}
 	div = j.VerifySample(cfg.Sample)
+	j.trace(obs.TraceEvent{Kind: obs.KindWatchdog, A: batchIndex, B: 1, F: div})
 	if div > cfg.Epsilon || math.IsNaN(div) {
 		j.ColdStart()
 		fellBack = true

@@ -4,6 +4,7 @@ import (
 	"jetstream/internal/event"
 	"jetstream/internal/graph"
 	"jetstream/internal/mem"
+	"jetstream/internal/obs"
 	"jetstream/internal/sim"
 	"jetstream/internal/stats"
 )
@@ -67,6 +68,12 @@ func NewDetailed(cfg Config, st *stats.Counters) *Detailed {
 
 // Cycles returns the accumulated cycle count.
 func (t *Detailed) Cycles() uint64 { return t.cycles }
+
+// Observe registers the model's per-channel DRAM traffic series on reg.
+func (t *Detailed) Observe(reg *obs.Registry) { t.dram.Observe(reg) }
+
+// Channels returns the per-channel DRAM traffic tallies.
+func (t *Detailed) Channels() []mem.ChannelCounts { return t.dram.ChannelCounts() }
 
 // Batch walks one row batch through the pipeline (see CycleModel.Batch).
 func (t *Detailed) Batch(touched []graph.VertexID, written int, fetches []EdgeFetch, genTargets []graph.VertexID) {

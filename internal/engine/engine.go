@@ -6,6 +6,7 @@ import (
 	"jetstream/internal/algo"
 	"jetstream/internal/event"
 	"jetstream/internal/graph"
+	"jetstream/internal/obs"
 	"jetstream/internal/queue"
 	"jetstream/internal/stats"
 )
@@ -55,6 +56,12 @@ type Engine struct {
 	// trace observes every event the sequential path processes, in order
 	// (golden-trace tests). Non-nil trace forces sequential execution.
 	trace func(event.Event)
+
+	// ob holds the attached observability sinks (nil when uninstrumented);
+	// obPub is the portion of st already attributed to per-worker series
+	// (see observe.go for the attribution contract).
+	ob    *Obs
+	obPub stats.Counters
 
 	// Per-row-batch recording for the timing layer.
 	batchTouched []graph.VertexID
@@ -277,6 +284,12 @@ func (e *Engine) ComputeHandler() Handler {
 // swaps and timing. It is one scheduler phase (§4.3).
 func (e *Engine) RunPhase(h Handler) {
 	e.st.Phases++
+	var seq, p0 uint64
+	if e.ob != nil {
+		seq = e.ob.nextSeq()
+		p0 = e.st.EventsProcessed
+		e.ob.Tr.Trace(obs.TraceEvent{Kind: obs.KindPhaseStart, Seq: seq, Worker: -1, A: e.st.Phases})
+	}
 	for {
 		for !e.q.Empty() {
 			e.q.DrainRound(func(batch []event.Event) {
@@ -300,8 +313,12 @@ func (e *Engine) RunPhase(h Handler) {
 			}
 		}
 		if !e.loadNextSlice() {
-			return
+			break
 		}
+	}
+	if e.ob != nil {
+		e.ob.Tr.Trace(obs.TraceEvent{Kind: obs.KindPhaseEnd, Seq: seq, Worker: -1,
+			A: e.st.Phases, B: e.st.EventsProcessed - p0})
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"jetstream/internal/algo"
 	"jetstream/internal/event"
 	"jetstream/internal/graph"
+	"jetstream/internal/obs"
 	"jetstream/internal/queue"
 	"jetstream/internal/stats"
 )
@@ -76,6 +77,15 @@ type peWorker struct {
 
 	// Per-batch token bookkeeping (see quiescence comment above).
 	newLive int64 // records that became live while processing the current batch
+
+	// Observability tallies, published into the engine's Obs at phase end.
+	// tr is nil when the engine is uninstrumented; it must be called only
+	// with concurrency-safe tracers (the Tracer contract).
+	tr        obs.Tracer
+	trSeq     uint64
+	sent      []uint64 // per-destination cross-partition events staged
+	forwarded uint64   // total cross-partition events staged
+	idleSpins uint64   // loop iterations that found no work
 }
 
 // parallelism returns the effective worker count for the next compute phase:
@@ -128,6 +138,12 @@ func (e *Engine) ownership(p int) []int32 {
 
 func (e *Engine) runComputeParallel(p int) {
 	e.st.Phases++
+	var phaseSeq, p0 uint64
+	if e.ob != nil {
+		phaseSeq = e.ob.nextSeq()
+		p0 = e.st.EventsProcessed
+		e.ob.Tr.Trace(obs.TraceEvent{Kind: obs.KindPhaseStart, Seq: phaseSeq, Worker: -1, A: e.st.Phases})
+	}
 	run := &parallelRun{
 		alg:      e.alg,
 		acc:      e.alg.Class() == algo.Accumulative,
@@ -142,17 +158,39 @@ func (e *Engine) runComputeParallel(p int) {
 
 	// Move the phase's seed events (already counted as generated when they
 	// were emitted) from the sequential queue into the shards. Workers have
-	// not started, so token ordering is not yet a concern.
+	// not started, so token ordering is not yet a concern. Seed coalesces are
+	// attributed to the destination shard's owner — that is where the merge
+	// happens in the hardware.
 	live := int64(0)
+	var seedCo []uint64
+	if e.ob != nil {
+		seedCo = make([]uint64, p)
+	}
 	for _, ev := range e.q.TakeAll() {
-		if run.sq.Shard(run.sq.Owner(ev.Target)).Insert(ev) {
+		d := run.sq.Owner(ev.Target)
+		if run.sq.Shard(d).Insert(ev) {
 			e.st.EventsCoalesced++
+			if seedCo != nil {
+				seedCo[d]++
+			}
 		} else {
 			live++
 		}
 	}
+	if e.ob != nil {
+		for i, n := range seedCo {
+			if n > 0 {
+				e.ob.worker(i).coalesced.Add(n)
+				e.obPub.EventsCoalesced += n
+			}
+		}
+	}
 	run.outstanding.Store(live)
 	if live == 0 {
+		if e.ob != nil {
+			e.ob.Tr.Trace(obs.TraceEvent{Kind: obs.KindPhaseEnd, Seq: phaseSeq, Worker: -1,
+				A: e.st.Phases, B: e.st.EventsProcessed - p0})
+		}
 		return
 	}
 
@@ -174,6 +212,10 @@ func (e *Engine) runComputeParallel(p int) {
 			staging: make([][]event.Event, p),
 			inbox:   make([]chan []event.Event, p),
 			outbox:  run.mail[i],
+			sent:    make([]uint64, p),
+		}
+		if e.ob != nil {
+			w.tr = e.ob.Tr
 		}
 		for j := 0; j < p; j++ {
 			if j != i {
@@ -195,9 +237,17 @@ func (e *Engine) runComputeParallel(p int) {
 
 	// Merge the per-worker counters into the engine's sink (the per-worker
 	// accumulation that keeps internal/stats correct without contended
-	// atomics on the hot path).
+	// atomics on the hot path), then publish each worker's share into its
+	// labeled series and the NoC transfer matrix.
 	for _, w := range workers {
 		e.st.Add(&w.st)
+	}
+	if e.ob != nil {
+		for i, w := range workers {
+			e.publishWorker(i, &w.st, w.forwarded, w.sent, w.shard.HighWater(), w.idleSpins)
+		}
+		e.ob.Tr.Trace(obs.TraceEvent{Kind: obs.KindPhaseEnd, Seq: phaseSeq, Worker: -1,
+			A: e.st.Phases, B: e.st.EventsProcessed - p0})
 	}
 }
 
@@ -217,6 +267,7 @@ func (w *peWorker) loop() {
 		if w.run.outstanding.Load() == 0 {
 			return
 		}
+		w.idleSpins++
 		runtime.Gosched()
 	}
 }
@@ -310,6 +361,8 @@ func (w *peWorker) emit(ev event.Event) {
 	}
 	w.staging[d] = append(w.staging[d], ev)
 	w.newLive++
+	w.sent[d]++
+	w.forwarded++
 }
 
 // flushStaging attempts a non-blocking send of every staged batch. Full
@@ -325,6 +378,11 @@ func (w *peWorker) flushStaging() bool {
 		case w.outbox[d] <- evs:
 			w.staging[d] = nil
 			sent = true
+			if w.tr != nil {
+				w.trSeq++
+				w.tr.Trace(obs.TraceEvent{Kind: obs.KindWorkerMail, Seq: w.trSeq,
+					Worker: w.id, A: uint64(d), B: uint64(len(evs))})
+			}
 		default:
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"jetstream/internal/graph"
 	"jetstream/internal/mem"
 	"jetstream/internal/noc"
+	"jetstream/internal/obs"
 	"jetstream/internal/sim"
 	"jetstream/internal/stats"
 )
@@ -75,6 +76,12 @@ func NewTiming(cfg Config, st *stats.Counters) *Timing {
 
 // Cycles returns the accumulated cycle count.
 func (t *Timing) Cycles() uint64 { return t.cycles }
+
+// Observe registers the model's per-channel DRAM traffic series on reg.
+func (t *Timing) Observe(reg *obs.Registry) { t.dram.Observe(reg) }
+
+// Channels returns the per-channel DRAM traffic tallies.
+func (t *Timing) Channels() []mem.ChannelCounts { return t.dram.ChannelCounts() }
 
 // EdgeFetch describes one vertex's adjacency read: the CSR offset of the
 // first edge and the number of edges.

@@ -44,7 +44,16 @@ type CSR struct {
 	// outWeightSum caches the total outgoing edge weight per vertex;
 	// Adsorption normalizes propagation by it.
 	outWeightSum []float64
+
+	// symmetric caches whether the edge set is closed under reversal,
+	// computed once at construction (buildSorted). Undirected algorithms
+	// (CC) check it instead of re-scanning every edge with HasEdge.
+	symmetric bool
 }
+
+// Symmetric reports whether every edge (u,v) has a reverse edge (v,u),
+// ignoring weights. Computed at construction time, so this is O(1).
+func (g *CSR) Symmetric() bool { return g.symmetric }
 
 // NumVertices returns the vertex count.
 func (g *CSR) NumVertices() int { return g.n }

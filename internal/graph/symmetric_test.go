@@ -1,0 +1,70 @@
+package graph
+
+import "testing"
+
+// TestSymmetricBit pins the cached symmetry flag computed at build time —
+// the O(1) replacement for the per-edge HasEdge rescan the CC path used.
+func TestSymmetricBit(t *testing.T) {
+	sym := MustBuild(4, []Edge{
+		{0, 1, 1}, {1, 0, 1},
+		{1, 2, 5}, {2, 1, 5},
+	})
+	if !sym.Symmetric() {
+		t.Error("mirrored edge set not reported symmetric")
+	}
+	asym := MustBuild(4, []Edge{{0, 1, 1}, {1, 0, 1}, {1, 2, 5}})
+	if asym.Symmetric() {
+		t.Error("edge (1,2) has no reverse but graph reported symmetric")
+	}
+	// Self-loops are their own reverse.
+	loop := MustBuild(2, []Edge{{0, 0, 1}})
+	if !loop.Symmetric() {
+		t.Error("self-loop-only graph not reported symmetric")
+	}
+	empty := MustBuild(3, nil)
+	if !empty.Symmetric() {
+		t.Error("empty edge set not reported symmetric")
+	}
+	// Same degrees on both sides but different neighbors.
+	twisted := MustBuild(3, []Edge{{0, 1, 1}, {1, 2, 1}, {2, 0, 1}})
+	if twisted.Symmetric() {
+		t.Error("directed 3-cycle reported symmetric")
+	}
+}
+
+// TestSymmetricBitThroughSymmetrizeAndApply checks the flag stays correct
+// across the other two construction paths: Symmetrize and streaming Apply.
+func TestSymmetricBitThroughSymmetrizeAndApply(t *testing.T) {
+	g := MustBuild(4, []Edge{{0, 1, 1}, {1, 2, 5}})
+	if g.Symmetric() {
+		t.Fatal("asymmetric base reported symmetric")
+	}
+	s := Symmetrize(g)
+	if !s.Symmetric() {
+		t.Fatal("Symmetrize result not reported symmetric")
+	}
+
+	// A mirrored insert pair keeps the flag; a lone insert clears it.
+	kept, err := s.Apply(Batch{Inserts: []Edge{{2, 3, 2}, {3, 2, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kept.Symmetric() {
+		t.Error("mirrored insert lost the symmetric bit")
+	}
+	broken, err := s.Apply(Batch{Inserts: []Edge{{2, 3, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if broken.Symmetric() {
+		t.Error("one-sided insert kept the symmetric bit")
+	}
+	// Deleting one direction of a mirrored pair breaks symmetry too.
+	oneway, err := s.Apply(Batch{Deletes: []Edge{{1, 0, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneway.Symmetric() {
+		t.Error("one-sided delete kept the symmetric bit")
+	}
+}

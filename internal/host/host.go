@@ -24,6 +24,7 @@ import (
 	"jetstream/internal/core"
 	"jetstream/internal/fault"
 	"jetstream/internal/graph"
+	"jetstream/internal/obs"
 	"jetstream/internal/stats"
 	"jetstream/internal/version"
 )
@@ -135,19 +136,51 @@ type Session struct {
 
 	totalDMABytes uint64
 	totalDMASecs  float64
+
+	// Observability (nil until Instrument): modeled end-to-end batch latency,
+	// cumulative DMA retries, committed batches, and the session tracer.
+	obLatency *obs.Histogram
+	obRetries *obs.Counter
+	obBatches *obs.Counter
+	tr        obs.Tracer
+	trSeq     uint64
+}
+
+// Instrument attaches observability to the session and its device: host
+// series (batch latency, DMA retries, batches) register on reg, the device's
+// engine series register through core.JetStream.Instrument, and trace events
+// flow to tr (nil for metrics only).
+func (s *Session) Instrument(reg *obs.Registry, tr obs.Tracer) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if tr == nil {
+		tr = obs.Nop
+	}
+	s.obLatency = reg.Histogram("jetstream_host_batch_latency_ns")
+	s.obRetries = reg.Counter("jetstream_host_dma_retries_total")
+	s.obBatches = reg.Counter("jetstream_host_batches_total")
+	s.tr = tr
+	s.js.Instrument(reg, tr)
+}
+
+func (s *Session) trace(e obs.TraceEvent) {
+	if s.tr == nil {
+		return
+	}
+	s.trSeq++
+	e.Seq = s.trSeq
+	e.Worker = -1
+	s.tr.Trace(e)
 }
 
 // NewSession creates a session over the base graph. The version store is
 // created internally; ShareStore sessions can be layered later.
 func NewSession(base *graph.CSR, a algo.Algorithm, cfg Config) (*Session, error) {
-	if algo.NeedsSymmetric(a) {
+	if algo.NeedsSymmetric(a) && !base.Symmetric() {
 		// The session trusts the caller symmetrized the base; the version
 		// store will keep whatever invariant the batches preserve.
-		for _, e := range base.Edges() {
-			if _, ok := base.HasEdge(e.Dst, e.Src); !ok {
-				return nil, fmt.Errorf("host: %s requires a symmetric graph", a.Name())
-			}
-		}
+		return nil, fmt.Errorf("host: %s requires a symmetric graph", a.Name())
 	}
 	st := &stats.Counters{}
 	return &Session{
@@ -243,6 +276,9 @@ func (s *Session) Initialize() (Result, error) {
 	}
 	nInit := len(s.alg.InitialEvents(g))
 	dmaSecs, retries, err := s.dmaTransfer(csrBytes(g, s.cfg.Accel.Engine.VertexBytes) + uint64(nInit)*16)
+	if retries > 0 && s.obRetries != nil {
+		s.obRetries.Add(retries)
+	}
 	if err != nil {
 		// Nothing reached the device; the session stays uninitialized and
 		// Initialize may be called again.
@@ -274,6 +310,7 @@ func (s *Session) Stream(b graph.Batch) (Result, error) {
 	if !s.initialized {
 		return Result{}, fmt.Errorf("host: Initialize before Stream")
 	}
+	s.trace(obs.TraceEvent{Kind: obs.KindBatchStart, A: s.batches + 1, B: uint64(b.Size())})
 
 	// The feed is untrusted: the injector models corruption on the wire.
 	b, injected := s.inj.CorruptBatch(b)
@@ -300,6 +337,12 @@ func (s *Session) Stream(b graph.Batch) (Result, error) {
 		bytes += csrBytesDims(uint64(g.NumVertices()), e, s.cfg.Accel.Engine.VertexBytes)
 	}
 	dmaSecs, retries, err := s.dmaTransfer(bytes)
+	if retries > 0 {
+		if s.obRetries != nil {
+			s.obRetries.Add(retries)
+		}
+		s.trace(obs.TraceEvent{Kind: obs.KindRetry, A: s.batches + 1, B: retries})
+	}
 	if err != nil {
 		return Result{DMASeconds: dmaSecs, Retries: retries, Injected: uint64(injected), Repaired: uint64(len(issues))}, err
 	}
@@ -310,6 +353,7 @@ func (s *Session) Stream(b graph.Batch) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	p0 := s.st.EventsProcessed
 	if err := s.js.ApplyBatch(clean); err != nil {
 		return Result{}, err
 	}
@@ -318,7 +362,7 @@ func (s *Session) Stream(b graph.Batch) (Result, error) {
 
 	cyc := s.js.Cycles() - s.prevCycles
 	s.prevCycles = s.js.Cycles()
-	return Result{
+	r := Result{
 		Version:      v,
 		AccelSeconds: s.cfg.Accel.Engine.CyclesToSeconds(cyc),
 		DMASeconds:   dmaSecs,
@@ -330,7 +374,14 @@ func (s *Session) Stream(b graph.Batch) (Result, error) {
 		Checked:      checked,
 		Divergence:   div,
 		FellBack:     fell,
-	}, nil
+	}
+	if s.obLatency != nil {
+		s.obLatency.Observe(uint64(r.Total().Nanoseconds()))
+		s.obBatches.Inc()
+	}
+	s.trace(obs.TraceEvent{Kind: obs.KindBatchEnd, A: s.batches,
+		B: s.st.EventsProcessed - p0, F: r.Total().Seconds()})
+	return r, nil
 }
 
 // ReadBack transfers the converged vertex states to the host and returns a

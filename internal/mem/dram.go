@@ -6,7 +6,13 @@
 // the paper's Figs 9 and 11 hinge on.
 package mem
 
-import "jetstream/internal/stats"
+import (
+	"strconv"
+	"sync/atomic"
+
+	"jetstream/internal/obs"
+	"jetstream/internal/stats"
+)
 
 // DRAMConfig describes the memory system. Defaults follow the paper's
 // Table 1: 4 DDR3 channels at 17 GB/s each; with the accelerator clocked at
@@ -42,6 +48,19 @@ type bank struct {
 type channel struct {
 	banks   []bank
 	busFree uint64
+
+	// Per-channel traffic tallies. Atomics so a metrics scrape can read them
+	// while the (single-threaded) timing model is advancing.
+	accesses atomic.Uint64
+	rowHits  atomic.Uint64
+	bytes    atomic.Uint64
+}
+
+// ChannelCounts is one channel's cumulative traffic.
+type ChannelCounts struct {
+	Accesses uint64
+	RowHits  uint64
+	Bytes    uint64
 }
 
 // DRAM is the stateful timing model. Addresses interleave across channels at
@@ -92,6 +111,7 @@ func (d *DRAM) Access(at uint64, addr uint64) uint64 {
 		lat = d.cfg.TRowHit
 		b.freeAt = start + d.cfg.BurstCycles
 		d.st.RowHits++
+		c.rowHits.Add(1)
 	} else {
 		// Precharge + activate: the bank is occupied for the full cycle.
 		lat = d.cfg.TRowMiss
@@ -108,7 +128,35 @@ func (d *DRAM) Access(at uint64, addr uint64) uint64 {
 	c.busFree = done
 	d.st.DRAMAccesses++
 	d.st.BytesTransferred += d.cfg.LineBytes
+	c.accesses.Add(1)
+	c.bytes.Add(d.cfg.LineBytes)
 	return done
+}
+
+// ChannelCounts returns the per-channel traffic tallies.
+func (d *DRAM) ChannelCounts() []ChannelCounts {
+	out := make([]ChannelCounts, len(d.ch))
+	for i := range d.ch {
+		out[i] = ChannelCounts{
+			Accesses: d.ch[i].accesses.Load(),
+			RowHits:  d.ch[i].rowHits.Load(),
+			Bytes:    d.ch[i].bytes.Load(),
+		}
+	}
+	return out
+}
+
+// Observe registers the per-channel traffic series on reg. The values are
+// read from the model's atomics at export time, so the timing hot path pays
+// only the tally increments it already makes.
+func (d *DRAM) Observe(reg *obs.Registry) {
+	for i := range d.ch {
+		c := &d.ch[i]
+		l := obs.L("channel", strconv.Itoa(i))
+		reg.CounterFunc("jetstream_dram_channel_accesses_total", c.accesses.Load, l)
+		reg.CounterFunc("jetstream_dram_channel_row_hits_total", c.rowHits.Load, l)
+		reg.CounterFunc("jetstream_dram_channel_bytes_total", c.bytes.Load, l)
+	}
 }
 
 // AccessLines issues n sequential lines starting at addr and returns the

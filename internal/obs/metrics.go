@@ -1,0 +1,151 @@
+// Package obs is the observability substrate: a metrics registry whose hot
+// paths (Counter.Add, Gauge.Set, Max.Observe, Histogram.Observe) perform no
+// allocation and no locking — one atomic operation each — plus a pluggable
+// Tracer for event-level instrumentation and exporters in Prometheus text and
+// expvar form.
+//
+// The paper's whole evaluation is counting (events processed vs. coalesced,
+// traffic per channel, queue occupancy), but a flat per-batch counter
+// snapshot cannot answer the operational questions a long-running stream
+// raises: which worker is hot, which DRAM channel saturates, how batch
+// latency is distributed. This package holds the time-resolved, labeled view;
+// internal/stats remains the exact per-operation ledger the figures are
+// derived from.
+//
+// Registration (Registry.Counter and friends) takes a lock and may allocate;
+// it happens at setup or phase boundaries. The returned handles are the hot
+// path: they are plain atomics, safe for concurrent use, and safe to read
+// (Load, Snapshot) while writers are active — which is what lets an HTTP
+// scrape observe a live engine without stopping it.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if n != 0 {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous signed value (queue occupancy, temperature).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores x.
+func (g *Gauge) Set(x int64) { g.v.Store(x) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Max is a running-maximum gauge: Observe keeps the largest value seen.
+// High-water marks (peak queue occupancy, largest shard backlog) use it.
+type Max struct {
+	v atomic.Uint64
+}
+
+// Observe raises the maximum to x if x exceeds it.
+func (m *Max) Observe(x uint64) {
+	for {
+		cur := m.v.Load()
+		if x <= cur || m.v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
+
+// Load returns the maximum observed so far.
+func (m *Max) Load() uint64 { return m.v.Load() }
+
+// histBuckets is the fixed bucket count of a log-2 histogram: one bucket per
+// possible bits.Len64 result (0 through 64).
+const histBuckets = 65
+
+// Histogram counts observations in fixed log-2 buckets: bucket i holds the
+// values v with bits.Len64(v) == i, i.e. bucket 0 holds exactly 0 and bucket
+// i >= 1 holds [2^(i-1), 2^i - 1]. The geometry is fixed so Observe is one
+// bit scan and two atomic adds — no configuration, no allocation, and any
+// uint64 (cycle counts, nanoseconds, event counts) maps to a bucket.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Bucket is one histogram bucket in a snapshot: Count observations with
+// value <= Upper (and greater than the previous bucket's Upper).
+type Bucket struct {
+	Upper uint64
+	Count uint64
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i.
+func BucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Buckets are
+// non-cumulative and trimmed after the last non-empty one.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets []Bucket
+}
+
+// Snapshot copies the histogram. Taken while writers are active it is a
+// consistent-enough view: each bucket is read atomically, and Count is read
+// first so Count <= sum of bucket counts can transiently hold, never the
+// reverse claim of observations that do not exist.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	last := -1
+	var counts [histBuckets]uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] > 0 {
+			last = i
+		}
+	}
+	for i := 0; i <= last; i++ {
+		s.Buckets = append(s.Buckets, Bucket{Upper: BucketUpper(i), Count: counts[i]})
+	}
+	return s
+}

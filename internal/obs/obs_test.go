@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/bits"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketInvariant checks the log-2 bucket geometry: every
+// observed value lands in exactly the bucket whose range contains it, bucket
+// counts sum to Count, and bucket upper bounds are strictly increasing with
+// bucket i covering (BucketUpper(i-1), BucketUpper(i)].
+func TestHistogramBucketInvariant(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(7))
+	values := []uint64{0, 1, 2, 3, 4, 7, 8, 1023, 1024, math.MaxUint64}
+	for i := 0; i < 10000; i++ {
+		values = append(values, rng.Uint64()>>uint(rng.Intn(64)))
+	}
+	var sum uint64
+	for _, v := range values {
+		h.Observe(v)
+		sum += v
+	}
+
+	if h.Count() != uint64(len(values)) {
+		t.Fatalf("Count = %d, want %d", h.Count(), len(values))
+	}
+	if h.Sum() != sum {
+		t.Fatalf("Sum = %d, want %d", h.Sum(), sum)
+	}
+
+	s := h.Snapshot()
+	if s.Count != h.Count() || s.Sum != h.Sum() {
+		t.Fatalf("snapshot count/sum = %d/%d, want %d/%d", s.Count, s.Sum, h.Count(), h.Sum())
+	}
+
+	// Bucket counts sum to Count.
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+
+	// Upper bounds strictly increase and match BucketUpper geometry.
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].Upper <= s.Buckets[i-1].Upper {
+			t.Fatalf("bucket %d upper %d <= previous %d", i, s.Buckets[i].Upper, s.Buckets[i-1].Upper)
+		}
+	}
+	for i, b := range s.Buckets {
+		if want := BucketUpper(i); b.Upper != want {
+			t.Fatalf("bucket %d upper = %d, want %d", i, b.Upper, want)
+		}
+	}
+
+	// Recount per bucket from raw values: value v belongs to bucket
+	// bits.Len64(v), i.e. the first bucket whose Upper >= v.
+	var want [histBuckets]uint64
+	for _, v := range values {
+		want[bits.Len64(v)]++
+	}
+	for i, b := range s.Buckets {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %d count = %d, want %d", i, b.Count, want[i])
+		}
+	}
+	// Trimmed tail really is empty.
+	for i := len(s.Buckets); i < histBuckets; i++ {
+		if want[i] != 0 {
+			t.Fatalf("bucket %d trimmed but has %d observations", i, want[i])
+		}
+	}
+
+	// Range membership: each bucket's range is (BucketUpper(i-1), BucketUpper(i)].
+	for _, v := range values {
+		i := bits.Len64(v)
+		if v > BucketUpper(i) {
+			t.Fatalf("value %d above its bucket %d upper %d", v, i, BucketUpper(i))
+		}
+		if i > 0 && v <= BucketUpper(i-1) && v != 0 {
+			t.Fatalf("value %d not above bucket %d lower bound %d", v, i, BucketUpper(i-1))
+		}
+	}
+}
+
+func TestBucketUpperEdges(t *testing.T) {
+	cases := map[int]uint64{
+		-1: 0, 0: 0, 1: 1, 2: 3, 3: 7, 10: 1023,
+		63: 1<<63 - 1, 64: math.MaxUint64, 65: math.MaxUint64,
+	}
+	for i, want := range cases {
+		if got := BucketUpper(i); got != want {
+			t.Errorf("BucketUpper(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestMaxObserve(t *testing.T) {
+	var m Max
+	for _, v := range []uint64{3, 1, 7, 7, 2} {
+		m.Observe(v)
+	}
+	if m.Load() != 7 {
+		t.Fatalf("Max = %d, want 7", m.Load())
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Observe(uint64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Load() != 7999 {
+		t.Fatalf("Max after concurrent observes = %d, want 7999", m.Load())
+	}
+}
+
+func TestRegistryDedup(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", L("worker", "0"))
+	b := r.Counter("x_total", L("worker", "0"))
+	c := r.Counter("x_total", L("worker", "1"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	if a == c {
+		t.Fatal("different labels returned the same counter")
+	}
+	a.Add(5)
+	if v, ok := r.Get("x_total", L("worker", "0")); !ok || v != 5 {
+		t.Fatalf("Get = %v,%v want 5,true", v, ok)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different kind did not panic")
+		}
+	}()
+	r.Gauge("x_total", L("worker", "0"))
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("js_events_total", L("worker", "0")).Add(10)
+	r.Counter("js_events_total", L("worker", "1")).Add(20)
+	r.Gauge("js_queue_live").Set(42)
+	h := r.Histogram("js_latency_ns")
+	h.Observe(1) // bucket 1 (le 1)
+	h.Observe(3) // bucket 2 (le 3)
+	h.Observe(3)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		"# TYPE js_events_total counter",
+		`js_events_total{worker="0"} 10`,
+		`js_events_total{worker="1"} 20`,
+		"# TYPE js_queue_live gauge",
+		"js_queue_live 42",
+		"# TYPE js_latency_ns histogram",
+		`js_latency_ns_bucket{le="1"} 1`,
+		`js_latency_ns_bucket{le="3"} 3`, // cumulative
+		`js_latency_ns_bucket{le="+Inf"} 3`,
+		"js_latency_ns_sum 7",
+		"js_latency_ns_count 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, body)
+		}
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	// One TYPE line per family even with multiple series.
+	if n := strings.Count(body, "# TYPE js_events_total"); n != 1 {
+		t.Errorf("js_events_total TYPE lines = %d, want 1", n)
+	}
+}
+
+func TestCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	var backing uint64 = 9
+	r.CounterFunc("js_external_total", func() uint64 { return backing }, L("src", "0"), L("dst", "1"))
+	if v, ok := r.Get("js_external_total", L("src", "0"), L("dst", "1")); !ok || v != 9 {
+		t.Fatalf("Get = %v,%v want 9,true", v, ok)
+	}
+	backing = 11
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `js_external_total{src="0",dst="1"} 11`) {
+		t.Fatalf("CounterFunc not re-read at export:\n%s", sb.String())
+	}
+}
+
+func TestExpvarVar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(1)
+	r.Gauge("b", L("k", "v")).Set(-2)
+	var m map[string]float64
+	if err := json.Unmarshal([]byte(r.Var().String()), &m); err != nil {
+		t.Fatalf("expvar output is not valid JSON: %v\n%s", err, r.Var().String())
+	}
+	if m["a_total"] != 1 || m["b{k=v}"] != -2 {
+		t.Fatalf("expvar map = %v", m)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	var c Collector
+	c.Trace(TraceEvent{Kind: KindBatchStart, A: 0})
+	c.Trace(TraceEvent{Kind: KindBatchEnd, A: 0, B: 12})
+	c.Trace(TraceEvent{Kind: KindBatchStart, A: 1})
+	if c.Count(KindBatchStart) != 2 || c.Count(KindBatchEnd) != 1 {
+		t.Fatalf("counts = %d/%d", c.Count(KindBatchStart), c.Count(KindBatchEnd))
+	}
+	if KindWorkerDrain.String() != "worker-drain" || Kind(200).String() != "unknown" {
+		t.Fatal("Kind.String mismatch")
+	}
+	Nop.Trace(TraceEvent{}) // must not panic
+}

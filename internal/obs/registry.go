@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name dimension, e.g. {Key: "worker", Value: "3"}.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKind tags a registry entry for export.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindMax
+	kindHistogram
+	kindFunc
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+type entry struct {
+	name   string
+	labels []Label
+	kind   metricKind
+	metric any           // *Counter, *Gauge, *Max, *Histogram
+	load   func() uint64 // kindFunc only
+}
+
+// Registry is a named collection of metrics. Registration (Counter, Gauge,
+// Max, Histogram, CounterFunc) is get-or-create keyed by name+labels, takes
+// the registry lock and may allocate; the returned handles are lock-free.
+// Export (WritePrometheus, Samples, Handler, Var) walks the registry under
+// the lock but reads every value atomically, so it is safe during live runs.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	byKey   map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*entry)}
+}
+
+func key(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0xff)
+		b.WriteString(l.Key)
+		b.WriteByte(0xfe)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// lookup returns the entry for name+labels, creating it with mk on first use.
+// Registering the same name+labels with a different kind is a programming
+// error and panics.
+func (r *Registry) lookup(name string, labels []Label, kind metricKind, mk func() any) *entry {
+	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byKey[k]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind.promType(), e.kind.promType()))
+		}
+		return e
+	}
+	e := &entry{name: name, labels: append([]Label(nil), labels...), kind: kind, metric: mk()}
+	r.byKey[k] = e
+	r.entries = append(r.entries, e)
+	return e
+}
+
+// Counter returns the counter registered under name+labels, creating it on
+// first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.lookup(name, labels, kindCounter, func() any { return &Counter{} }).metric.(*Counter)
+}
+
+// Gauge returns the gauge registered under name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.lookup(name, labels, kindGauge, func() any { return &Gauge{} }).metric.(*Gauge)
+}
+
+// Max returns the running-maximum gauge registered under name+labels.
+func (r *Registry) Max(name string, labels ...Label) *Max {
+	return r.lookup(name, labels, kindMax, func() any { return &Max{} }).metric.(*Max)
+}
+
+// Histogram returns the log-2 histogram registered under name+labels.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	return r.lookup(name, labels, kindHistogram, func() any { return &Histogram{} }).metric.(*Histogram)
+}
+
+// CounterFunc registers a counter whose value is read from load at export
+// time — for monotonic values that already live elsewhere (the NoC transfer
+// matrix), so the hot path is not charged twice. load must be safe to call
+// concurrently. Re-registering the same name+labels replaces the function.
+func (r *Registry) CounterFunc(name string, load func() uint64, labels ...Label) {
+	e := r.lookup(name, labels, kindFunc, func() any { return nil })
+	r.mu.Lock()
+	e.load = load
+	r.mu.Unlock()
+}
+
+// Sample is one exported value. Histograms expand into name_count and
+// name_sum samples (buckets are exported only in Prometheus form).
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// snapshot copies the entry list so value reads happen outside the lock.
+func (r *Registry) snapshot() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*entry(nil), r.entries...)
+}
+
+// Samples returns a flat snapshot of every metric.
+func (r *Registry) Samples() []Sample {
+	var out []Sample
+	for _, e := range r.snapshot() {
+		switch e.kind {
+		case kindCounter:
+			out = append(out, Sample{e.name, e.labels, float64(e.metric.(*Counter).Load())})
+		case kindGauge:
+			out = append(out, Sample{e.name, e.labels, float64(e.metric.(*Gauge).Load())})
+		case kindMax:
+			out = append(out, Sample{e.name, e.labels, float64(e.metric.(*Max).Load())})
+		case kindFunc:
+			if e.load != nil {
+				out = append(out, Sample{e.name, e.labels, float64(e.load())})
+			}
+		case kindHistogram:
+			h := e.metric.(*Histogram)
+			out = append(out, Sample{e.name + "_count", e.labels, float64(h.Count())})
+			out = append(out, Sample{e.name + "_sum", e.labels, float64(h.Sum())})
+		}
+	}
+	return out
+}
+
+// Get returns the sample for name+labels, or false. Intended for tests and
+// snapshot assembly, not hot paths.
+func (r *Registry) Get(name string, labels ...Label) (float64, bool) {
+	want := key(name, labels)
+	for _, s := range r.Samples() {
+		if key(s.Name, s.Labels) == want {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+func promLabels(w io.Writer, labels []Label, extra ...Label) {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return
+	}
+	io.WriteString(w, "{")
+	for i, l := range all {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		fmt.Fprintf(w, "%s=%q", l.Key, l.Value)
+	}
+	io.WriteString(w, "}")
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), grouping series into families with one TYPE line
+// each. Histograms emit cumulative _bucket series with le labels plus _sum
+// and _count.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	entries := r.snapshot()
+	typed := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if !typed[e.name] {
+			typed[e.name] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind.promType())
+			// Emit the whole family together (Prometheus requires series of
+			// one family to be contiguous).
+			for _, f := range entries {
+				if f.name != e.name {
+					continue
+				}
+				writePromEntry(w, f)
+			}
+		}
+	}
+}
+
+func writePromEntry(w io.Writer, e *entry) {
+	switch e.kind {
+	case kindCounter:
+		writePromLine(w, e.name, e.labels, float64(e.metric.(*Counter).Load()))
+	case kindGauge:
+		writePromLine(w, e.name, e.labels, float64(e.metric.(*Gauge).Load()))
+	case kindMax:
+		writePromLine(w, e.name, e.labels, float64(e.metric.(*Max).Load()))
+	case kindFunc:
+		if e.load != nil {
+			writePromLine(w, e.name, e.labels, float64(e.load()))
+		}
+	case kindHistogram:
+		s := e.metric.(*Histogram).Snapshot()
+		cum := uint64(0)
+		for _, b := range s.Buckets {
+			cum += b.Count
+			io.WriteString(w, e.name+"_bucket")
+			promLabels(w, e.labels, L("le", strconv.FormatUint(b.Upper, 10)))
+			fmt.Fprintf(w, " %d\n", cum)
+		}
+		io.WriteString(w, e.name+"_bucket")
+		promLabels(w, e.labels, L("le", "+Inf"))
+		fmt.Fprintf(w, " %d\n", s.Count)
+		writePromLine(w, e.name+"_sum", e.labels, float64(s.Sum))
+		writePromLine(w, e.name+"_count", e.labels, float64(s.Count))
+	}
+}
+
+func writePromLine(w io.Writer, name string, labels []Label, v float64) {
+	io.WriteString(w, name)
+	promLabels(w, labels)
+	fmt.Fprintf(w, " %s\n", strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// Handler returns an http.Handler serving the Prometheus text format — the
+// scrape endpoint a long-running stream mounts at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Var adapts the registry to expvar.Var: String renders every sample as one
+// JSON object keyed by "name{label=value,...}", sorted, so the registry can
+// be published under a single expvar name.
+func (r *Registry) Var() expvar.Var { return registryVar{r} }
+
+type registryVar struct{ r *Registry }
+
+func (v registryVar) String() string {
+	samples := v.r.Samples()
+	keys := make([]string, len(samples))
+	byKey := make(map[string]float64, len(samples))
+	for i, s := range samples {
+		var b strings.Builder
+		b.WriteString(s.Name)
+		if len(s.Labels) > 0 {
+			b.WriteString("{")
+			for j, l := range s.Labels {
+				if j > 0 {
+					b.WriteString(",")
+				}
+				b.WriteString(l.Key + "=" + l.Value)
+			}
+			b.WriteString("}")
+		}
+		keys[i] = b.String()
+		byKey[keys[i]] = s.Value
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("{")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%q: %s", k, strconv.FormatFloat(byKey[k], 'g', -1, 64))
+	}
+	b.WriteString("}")
+	return b.String()
+}

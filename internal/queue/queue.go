@@ -18,6 +18,7 @@ import (
 
 	"jetstream/internal/event"
 	"jetstream/internal/graph"
+	"jetstream/internal/obs"
 	"jetstream/internal/stats"
 )
 
@@ -55,6 +56,26 @@ type Coalescing struct {
 	overflow     []event.Event // non-coalescing mode: extra events, FIFO
 
 	highWater int // peak live events; sizes the on-chip memory requirement
+
+	// Occupancy mirrors, refreshed once per drain round (not per insert, to
+	// keep the hot path free of atomics). Nil when uninstrumented.
+	obLive *obs.Gauge
+	obHigh *obs.Max
+}
+
+// SetObs attaches occupancy mirrors: live receives the queue length and high
+// the high-water mark at every drain round. Pass nils to detach.
+func (q *Coalescing) SetObs(live *obs.Gauge, high *obs.Max) {
+	q.obLive = live
+	q.obHigh = high
+	q.publishObs()
+}
+
+func (q *Coalescing) publishObs() {
+	if q.obLive != nil {
+		q.obLive.Set(int64(q.Len()))
+		q.obHigh.Observe(uint64(q.highWater))
+	}
 }
 
 // New creates a queue over n vertex slots. st may be nil.
@@ -170,6 +191,7 @@ func (q *Coalescing) DrainRound(fn func(batch []event.Event)) int {
 		fn(pend[lo:hi])
 	}
 	q.st.Rounds++
+	q.publishObs()
 	return emitted
 }
 

@@ -138,3 +138,31 @@ func TestShardInsertOutOfRangePanics(t *testing.T) {
 	}()
 	sq.Shard(0).Insert(event.New(7, 1))
 }
+
+// TestShardHighWater pins the peak-occupancy tracking: the high-water mark
+// follows Len upward across both the slot and overflow paths, survives
+// drains, and never decreases.
+func TestShardHighWater(t *testing.T) {
+	sq := NewSharded(1, stripedOwner(8, 1), Config{RowSize: 4}, shardMinCoalesce, false)
+	s := sq.Shard(0)
+	if s.HighWater() != 0 {
+		t.Fatalf("fresh shard HighWater = %d, want 0", s.HighWater())
+	}
+	s.Insert(event.New(1, 1))
+	s.Insert(event.New(2, 1))
+	s.Insert(event.New(2, 2)) // overflow path: slot 2 already occupied
+	if got := s.HighWater(); got != 3 {
+		t.Fatalf("HighWater = %d after 3 live events, want 3", got)
+	}
+	s.DrainRound(func([]event.Event) {})
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", s.Len())
+	}
+	if got := s.HighWater(); got != 3 {
+		t.Fatalf("HighWater = %d after drain, want 3 (monotonic)", got)
+	}
+	s.Insert(event.New(3, 1))
+	if got := s.HighWater(); got != 3 {
+		t.Fatalf("HighWater = %d after refill below peak, want 3", got)
+	}
+}

@@ -18,6 +18,7 @@
 package jetstream
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"jetstream/internal/core"
 	"jetstream/internal/engine"
 	"jetstream/internal/graph"
+	"jetstream/internal/obs"
 	"jetstream/internal/stats"
 	"jetstream/internal/stream"
 )
@@ -119,10 +121,32 @@ func PageRank(eps float64) Algorithm { return algo.NewPageRank(eps) }
 // Adsorption returns the Adsorption kernel; eps <= 0 selects the default.
 func Adsorption(eps float64) Algorithm { return algo.NewAdsorption(eps) }
 
+// AlgorithmSpec names a kernel and its parameters. Fields irrelevant to the
+// kernel are ignored (Root for cc/pagerank/adsorption, Eps for the selective
+// kernels), and new kernel parameters become new fields rather than new
+// positional arguments.
+type AlgorithmSpec struct {
+	// Name is one of "sssp", "sswp", "bfs", "cc", "pagerank", "adsorption".
+	Name string
+	// Root is the query root for sssp/sswp/bfs.
+	Root uint32
+	// Eps is the convergence threshold for pagerank/adsorption; <= 0 selects
+	// the kernel's default.
+	Eps float64
+}
+
+// NewAlgorithm resolves spec to a kernel.
+func NewAlgorithm(spec AlgorithmSpec) (Algorithm, error) {
+	return algo.New(spec.Name, spec.Root, spec.Eps)
+}
+
 // AlgorithmByName resolves one of "sssp", "sswp", "bfs", "cc", "pagerank",
 // "adsorption".
+//
+// Deprecated: use NewAlgorithm with an AlgorithmSpec; positional parameters
+// do not survive kernels gaining options.
 func AlgorithmByName(name string, root uint32, eps float64) (Algorithm, error) {
-	return algo.New(name, root, eps)
+	return NewAlgorithm(AlgorithmSpec{Name: name, Root: root, Eps: eps})
 }
 
 // Option configures a System. Options compose in any order.
@@ -137,6 +161,7 @@ type options struct {
 	accel    *engine.Config
 	ingest   IngestPolicy
 	watchdog WatchdogConfig
+	observer Observer
 }
 
 // WithOpt selects the deletion-recovery optimization (default OptDAP).
@@ -165,9 +190,14 @@ func WithDetailedTiming() Option {
 // default is the modeled PE count (8). p = 1 reproduces the sequential engine
 // bit for bit; higher parallelism converges to the identical fixpoint for the
 // monotonic kernels (SSSP/SSWP/BFS/CC) and agrees within the epsilon bound
-// for the accumulative ones (PageRank/Adsorption). Parallel execution only
-// engages with the timing model off — WithTiming(false) — and without
-// slicing; otherwise the engine stays sequential regardless of p.
+// for the accumulative ones (PageRank/Adsorption).
+//
+// Parallel execution requires the timing model off and slicing off: the
+// timing model reconstructs hardware parallelism from the deterministic
+// sequential trace, and slicing processes one slice at a time by design.
+// Combining WithParallelism(p > 1) with timing (the default — pass
+// WithTiming(false)) or WithSlices(k > 1) makes New fail with
+// ErrConfigConflict; earlier versions silently fell back to sequential.
 func WithParallelism(p int) Option {
 	return func(op *options) { op.parallel = p }
 }
@@ -218,6 +248,11 @@ type Result struct {
 	FellBack bool
 }
 
+// ErrConfigConflict is returned by New when requested options cannot be
+// honored together (e.g. WithParallelism(>1) with the timing model or
+// slicing). Match it with errors.Is; the wrapped message names the options.
+var ErrConfigConflict = errors.New("jetstream: conflicting options")
+
 // System is a standing query over a streaming graph: the JetStream engine,
 // its current graph version, and its converged vertex states.
 type System struct {
@@ -230,20 +265,33 @@ type System struct {
 	prev    stats.Counters
 	batches uint64
 	init    bool
+
+	// Observability: every System owns a metrics registry (Metrics,
+	// MetricsHandler work without any option); tr is the WithObserver
+	// callback, obs.Nop otherwise.
+	reg      *obs.Registry
+	tr       obs.Tracer
+	trSeq    uint64
+	latency  *obs.Histogram
+	batchesC *obs.Counter
 }
 
 // New builds a System for query a over initial graph g.
 func New(g *Graph, a Algorithm, opts ...Option) (*System, error) {
-	if algo.NeedsSymmetric(a) {
-		for _, e := range g.Edges() {
-			if _, ok := g.HasEdge(e.Dst, e.Src); !ok {
-				return nil, fmt.Errorf("jetstream: %s requires a symmetric graph; use Symmetrize", a.Name())
-			}
-		}
+	if algo.NeedsSymmetric(a) && !g.Symmetric() {
+		return nil, fmt.Errorf("jetstream: %s requires a symmetric graph; use Symmetrize", a.Name())
 	}
 	op := &options{opt: OptDAP, timing: true}
 	for _, o := range opts {
 		o(op)
+	}
+	if op.parallel > 1 {
+		if op.timing {
+			return nil, fmt.Errorf("%w: WithParallelism(%d) requires the timing model off — add WithTiming(false)", ErrConfigConflict, op.parallel)
+		}
+		if op.slices > 1 {
+			return nil, fmt.Errorf("%w: WithParallelism(%d) cannot be combined with WithSlices(%d)", ErrConfigConflict, op.parallel, op.slices)
+		}
 	}
 	cfg := core.ConfigWithOpt(op.opt)
 	if op.accel != nil {
@@ -258,14 +306,23 @@ func New(g *Graph, a Algorithm, opts ...Option) (*System, error) {
 		cfg.Engine.Parallelism = op.parallel
 	}
 	st := &stats.Counters{}
-	return &System{
+	s := &System{
 		js:     core.New(g, a, cfg, st),
 		alg:    a,
 		st:     st,
 		cfg:    cfg,
 		ingest: op.ingest,
 		wd:     op.watchdog,
-	}, nil
+		reg:    obs.NewRegistry(),
+		tr:     obs.Nop,
+	}
+	if op.observer != nil {
+		s.tr = op.observer
+	}
+	s.latency = s.reg.Histogram("jetstream_batch_latency_ns")
+	s.batchesC = s.reg.Counter("jetstream_batches_total")
+	s.js.Instrument(s.reg, s.tr)
+	return s, nil
 }
 
 // delta snapshots the counters consumed since the previous snapshot.
@@ -300,6 +357,7 @@ func (s *System) ApplyBatch(b Batch) (Result, error) {
 	if !s.init {
 		return Result{}, fmt.Errorf("jetstream: call RunInitial before ApplyBatch")
 	}
+	s.trace(obs.TraceEvent{Kind: obs.KindBatchStart, A: s.batches + 1, B: uint64(b.Size())})
 	// Sanitize unconditionally: even a clean batch has its delete weights
 	// normalized to the stored edge weight, so a stale weight cannot poison
 	// the value-aware recovery.
@@ -323,7 +381,19 @@ func (s *System) ApplyBatch(b Batch) (Result, error) {
 	res.Repaired = uint64(len(issues))
 	res.Issues = issues
 	res.Checked, res.Divergence, res.FellBack = checked, div, fell
+	s.latency.Observe(uint64(res.Duration.Nanoseconds()))
+	s.batchesC.Inc()
+	s.trace(obs.TraceEvent{Kind: obs.KindBatchEnd, A: s.batches,
+		B: res.Stats.EventsProcessed, F: res.Duration.Seconds()})
 	return res, nil
+}
+
+// trace emits a System-level trace event with sequencing filled in.
+func (s *System) trace(e obs.TraceEvent) {
+	s.trSeq++
+	e.Seq = s.trSeq
+	e.Worker = -1
+	s.tr.Trace(e)
 }
 
 // Parallelism reports the effective compute-phase worker count the system was
