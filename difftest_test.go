@@ -52,7 +52,7 @@ func difftestStream(t *testing.T, a Algorithm, seed int64, batches, batchSize in
 
 func makeAlgByName(t *testing.T, name string) Algorithm {
 	t.Helper()
-	a, err := AlgorithmByName(name, 0, 0)
+	a, err := NewAlgorithm(AlgorithmSpec{Name: name})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -93,13 +93,20 @@ type Injector struct {
 	injected uint64
 }
 
-// New builds an injector for cfg. Returns nil when cfg injects nothing, which
-// callers treat as a disabled injector.
+// New builds an injector for cfg, drawing from a private generator seeded
+// with cfg.Seed. Returns nil when cfg injects nothing, which callers treat as
+// a disabled injector.
 func New(cfg Config) *Injector {
+	return NewWithRand(cfg, rand.New(rand.NewSource(cfg.Seed)))
+}
+
+// NewWithRand builds an injector drawing fault decisions from rng, which must
+// be explicitly seeded by the caller. Returns nil when cfg injects nothing.
+func NewWithRand(cfg Config, rng *rand.Rand) *Injector {
 	if !cfg.Enabled() {
 		return nil
 	}
-	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &Injector{cfg: cfg, rng: rng}
 }
 
 // Injected returns the total number of faults introduced so far (link faults

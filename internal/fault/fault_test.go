@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"math/rand"
 	"testing"
 
 	"jetstream/internal/graph"
@@ -140,5 +141,31 @@ func TestCorruptBatchLeavesInputIntact(t *testing.T) {
 	}
 	if in.Injected() != uint64(n) {
 		t.Errorf("Injected %d != returned %d", in.Injected(), n)
+	}
+}
+
+func TestNewWithRandMatchesSeededConstructor(t *testing.T) {
+	cfg := Config{Seed: 7, FailProb: 0.3, PartialProb: 0.2, TimeoutProb: 0.1}
+	collect := func(in *Injector) []string {
+		var faults []string
+		for i := 0; i < 200; i++ {
+			if err := in.TransferFault(512); err != nil {
+				faults = append(faults, err.Error())
+			}
+		}
+		return faults
+	}
+	a := collect(New(cfg))
+	b := collect(NewWithRand(cfg, rand.New(rand.NewSource(cfg.Seed))))
+	if len(a) != len(b) {
+		t.Fatalf("fault counts diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d diverged: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if NewWithRand(Config{}, rand.New(rand.NewSource(1))) != nil {
+		t.Fatal("disabled config built a live injector")
 	}
 }

@@ -50,17 +50,17 @@ func parseEdges(r io.Reader) ([]Edge, int, error) {
 		}
 		src, err := strconv.ParseUint(fields[0], 10, 32)
 		if err != nil {
-			return nil, 0, fmt.Errorf("graph: line %d: bad src: %v", line, err)
+			return nil, 0, fmt.Errorf("graph: line %d: bad src: %w", line, err)
 		}
 		dst, err := strconv.ParseUint(fields[1], 10, 32)
 		if err != nil {
-			return nil, 0, fmt.Errorf("graph: line %d: bad dst: %v", line, err)
+			return nil, 0, fmt.Errorf("graph: line %d: bad dst: %w", line, err)
 		}
 		w := 1.0
 		if len(fields) >= 3 {
 			w, err = strconv.ParseFloat(fields[2], 64)
 			if err != nil {
-				return nil, 0, fmt.Errorf("graph: line %d: bad weight: %v", line, err)
+				return nil, 0, fmt.Errorf("graph: line %d: bad weight: %w", line, err)
 			}
 			if math.IsNaN(w) || math.IsInf(w, 0) {
 				return nil, 0, fmt.Errorf("graph: line %d: non-finite weight", line)

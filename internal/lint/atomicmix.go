@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomicmix flags mixed atomic/plain access to the same memory location.
+//
+// Rule 1: any struct field or package-level variable whose address is ever
+// passed to a sync/atomic function (atomic.AddUint64(&x, ...) and friends)
+// must be accessed through sync/atomic everywhere in the module. A plain
+// read or write of such a location is a data race that -race only reports
+// when the scheduler happens to interleave the two sides; the type system
+// sees it always. Taking the location's address (to pass to another atomic
+// call) is not a plain access, and composite-literal initialization is
+// exempt: the enclosing object is not yet shared.
+//
+// Rule 2: a value of one of the sync/atomic types (atomic.Uint64, ...) must
+// not be copied: copies carry the value but not the location, so updates to
+// the copy are invisible to the readers of the original. Method calls and
+// address-taking are the only sanctioned uses.
+//
+// The analysis is module-wide: an atomic write in one package poisons plain
+// access in every other.
+var Atomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "forbid plain loads/stores of fields and variables that are accessed through sync/atomic",
+	Run:  runAtomicmix,
+}
+
+// atomicAddrFuncs are the sync/atomic package functions whose first argument
+// is the address of the accessed location.
+var atomicAddrFuncs = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, op := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		for _, ty := range []string{"Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer"} {
+			m[op+ty] = true
+		}
+	}
+	return m
+}()
+
+// atomicTypeNames are the value types of sync/atomic whose copies rule 2
+// forbids.
+var atomicTypeNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// isAtomicValueType reports whether t is one of the sync/atomic value types.
+func isAtomicValueType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && atomicTypeNames[obj.Name()]
+}
+
+func runAtomicmix(pass *Pass) {
+	// Phase 1: collect every field/variable whose address reaches a
+	// sync/atomic function anywhere in the module.
+	atomicObjs := make(map[types.Object]token.Pos)
+	for _, pkg := range pass.Mod.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				obj := callee(pkg.Info, call)
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomicAddrFuncs[fn.Name()] {
+					return true
+				}
+				un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					return true
+				}
+				if o := refObject(pkg.Info, un.X); o != nil && isSharedLocation(o) {
+					if _, seen := atomicObjs[o]; !seen {
+						atomicObjs[o] = call.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Phase 2: flag plain accesses of those locations, and plain copies of
+	// sync/atomic typed values, everywhere.
+	for _, pkg := range pass.Mod.Pkgs {
+		for _, f := range pkg.Files {
+			checkAtomicFile(pass, pkg, f, atomicObjs)
+		}
+	}
+}
+
+// isSharedLocation reports whether o is a struct field or package-level
+// variable — the locations rule 1 tracks. Locals are governed by ordinary
+// escape reasoning and left to -race.
+func isSharedLocation(o types.Object) bool {
+	v, ok := o.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.IsField() {
+		return true
+	}
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func checkAtomicFile(pass *Pass, pkg *Package, f *ast.File, atomicObjs map[types.Object]token.Pos) {
+	walkStack(f, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.Ident:
+			checkAtomicCopy(pass, pkg, n, stack)
+			obj := pkg.Info.Uses[n]
+			if obj == nil {
+				return
+			}
+			if _, tracked := atomicObjs[obj]; !tracked {
+				return
+			}
+			// The reported node is the full selector when the ident is its
+			// field: for x.f, judge the context of x.f, not of f.
+			node := ast.Expr(n)
+			up := stack
+			if sel, ok := parentAt(stack, 0).(*ast.SelectorExpr); ok && sel.Sel == n {
+				node = sel
+				up = stack[:len(stack)-1]
+			}
+			if plainAccessExempt(pkg, node, up) {
+				return
+			}
+			pass.Reportf(n.Pos(), "plain access of %s, which is accessed with sync/atomic at %s; use atomic loads/stores or copy after a synchronization barrier",
+				objDesc(obj), pass.Mod.Fset.Position(atomicObjs[obj]))
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			checkAtomicCopy(pass, pkg, n.(ast.Expr), stack)
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if tv, ok := pkg.Info.Types[n.Value]; ok && isAtomicValueType(tv.Type) {
+					pass.Reportf(n.Value.Pos(), "range copies %s values; iterate by index and use methods on the element", tv.Type)
+				} else if id, ok := n.Value.(*ast.Ident); ok {
+					if d := pkg.Info.Defs[id]; d != nil && isAtomicValueType(d.Type()) {
+						pass.Reportf(id.Pos(), "range copies %s values; iterate by index and use methods on the element", d.Type())
+					}
+				}
+			}
+		}
+	})
+}
+
+// parentAt returns the i-th enclosing node (0 = immediate parent).
+func parentAt(stack []ast.Node, i int) ast.Node {
+	if len(stack) <= i {
+		return nil
+	}
+	return stack[len(stack)-1-i]
+}
+
+// plainAccessExempt reports whether node (a reference to a tracked location,
+// with stack its ancestors) is one of the sanctioned non-atomic uses:
+// address-taking and composite-literal initialization.
+func plainAccessExempt(pkg *Package, node ast.Expr, stack []ast.Node) bool {
+	for len(stack) > 0 {
+		if _, ok := parentAt(stack, 0).(*ast.ParenExpr); !ok {
+			break
+		}
+		stack = stack[:len(stack)-1]
+	}
+	if un, ok := parentAt(stack, 0).(*ast.UnaryExpr); ok && un.Op == token.AND {
+		return true // &x.f: address flows to an atomic call, not a data access
+	}
+	if kv, ok := parentAt(stack, 0).(*ast.KeyValueExpr); ok && kv.Key == node {
+		if cl, ok := parentAt(stack, 1).(*ast.CompositeLit); ok {
+			if tv, ok := pkg.Info.Types[cl]; ok {
+				if _, isStruct := tv.Type.Underlying().(*types.Struct); isStruct {
+					return true // T{f: 0}: initialization before the value is shared
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkAtomicCopy flags e when it denotes a sync/atomic typed value used in
+// a copying position (rule 2).
+func checkAtomicCopy(pass *Pass, pkg *Package, e ast.Expr, stack []ast.Node) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || !tv.IsValue() || !isAtomicValueType(tv.Type) {
+		return
+	}
+	switch parent := parentAt(stack, 0).(type) {
+	case *ast.SelectorExpr:
+		// x.f.Load(): method selection on x.f, not a copy. The Sel ident of
+		// a selector is covered by the selector node itself.
+		if parent.X == e || parent.Sel == e {
+			return
+		}
+	case *ast.UnaryExpr:
+		if parent.Op == token.AND {
+			return // &x.f: explicit address, fine
+		}
+	}
+	pass.Reportf(e.Pos(), "copy of %s value: atomic values must not be copied; call its methods or take its address", tv.Type)
+}
+
+// objDesc names an object for a diagnostic: "field T.f" or "variable v".
+func objDesc(o types.Object) string {
+	v := o.(*types.Var)
+	if v.IsField() {
+		return "field " + v.Name()
+	}
+	return "variable " + v.Name()
+}

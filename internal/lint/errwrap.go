@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Errwrap enforces that error chains survive the public boundary, so callers
+// can match with errors.Is/As instead of string comparison.
+//
+// Rule 1 (module-wide, non-test files): a fmt.Errorf call whose arguments
+// include an error value must carry %w in its format string. %v flattens the
+// wrapped error into text and severs the chain; the rendered message is
+// identical either way, so there is no reason to prefer %v.
+//
+// Rule 2 (root package only): an exported function must not return an error
+// minted by another package as-is. Bare pass-through leaks internal package
+// vocabulary as the API contract; wrapping with fmt.Errorf("...: %w", err)
+// adds the boundary context while keeping the chain intact. The analysis is
+// a source-order approximation: an error variable becomes tainted when
+// assigned from a call into another package and is cleared when reassigned
+// from a local call or a wrapping constructor (fmt.Errorf, errors.*).
+var Errwrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "require %w when fmt.Errorf wraps an error, and forbid bare external errors from exported root functions",
+	Run:  runErrwrap,
+}
+
+func runErrwrap(pass *Pass) {
+	for _, pkg := range pass.Mod.Pkgs {
+		for _, f := range pkg.Files {
+			if pass.IsTestFile(f.Pos()) {
+				continue
+			}
+			checkErrorfCalls(pass, pkg, f)
+			if pkg.Path == pass.Mod.Path {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if ok && fd.Body != nil && exportedBoundary(fd) {
+						checkBareReturns(pass, pkg, fd)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkErrorfCalls implements rule 1.
+func checkErrorfCalls(pass *Pass, pkg *Package, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 || !calleeFromPkg(pkg.Info, call, "fmt", "Errorf") {
+			return true
+		}
+		tv, ok := pkg.Info.Types[call.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return true // non-constant format: cannot judge
+		}
+		format := constant.StringVal(tv.Value)
+		if strings.Contains(strings.ReplaceAll(format, "%%", ""), "%w") {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			if atv, ok := pkg.Info.Types[arg]; ok && isErrorType(atv.Type) {
+				pass.Reportf(call.Pos(), "fmt.Errorf has an error argument but no %%w; the chain is severed and errors.Is/As cannot see through it")
+				break
+			}
+		}
+		return true
+	})
+}
+
+// isWrapConstructor reports whether call creates or wraps an error itself
+// (fmt.Errorf, anything in errors): returning its result is not a bare
+// pass-through.
+func isWrapConstructor(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := callee(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return (p == "fmt" && fn.Name() == "Errorf") || p == "errors"
+}
+
+// isExternalCall reports whether call invokes a function or method defined
+// outside home (the root package).
+func isExternalCall(info *types.Info, call *ast.CallExpr, home *types.Package) bool {
+	obj := callee(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false // builtins, conversions, indirect calls: not judged
+	}
+	return fn.Pkg() != nil && fn.Pkg() != home
+}
+
+// callHasErrorResult reports whether any of call's results is error-typed.
+func callHasErrorResult(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+// checkBareReturns implements rule 2 for one exported root function.
+func checkBareReturns(pass *Pass, pkg *Package, fd *ast.FuncDecl) {
+	sig, ok := pkg.Info.Defs[fd.Name].Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	hasErrResult := false
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			hasErrResult = true
+		}
+	}
+	if !hasErrResult {
+		return
+	}
+
+	// tainted maps error variables to the external callee that produced
+	// their current value. ast.Inspect visits in source order, which tracks
+	// the straight-line assignment/return structure used in this codebase.
+	tainted := make(map[types.Object]string)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			ext := ""
+			if len(n.Rhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok &&
+					isExternalCall(pkg.Info, call, pkg.Pkg) && !isWrapConstructor(pkg.Info, call) {
+					if fn, ok := callee(pkg.Info, call).(*types.Func); ok {
+						ext = fn.Pkg().Name() + "." + fn.Name()
+					}
+				}
+			}
+			for _, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := pkg.Info.Defs[id]
+				if obj == nil {
+					obj = pkg.Info.Uses[id]
+				}
+				if obj == nil || !isErrorType(obj.Type()) {
+					continue
+				}
+				if ext != "" {
+					tainted[obj] = ext
+				} else {
+					delete(tainted, obj)
+				}
+			}
+		case *ast.ReturnStmt:
+			checkReturn(pass, pkg, fd, sig, n, tainted)
+		}
+		return true
+	})
+}
+
+func checkReturn(pass *Pass, pkg *Package, fd *ast.FuncDecl, sig *types.Signature, ret *ast.ReturnStmt, tainted map[types.Object]string) {
+	// return f(...) forwarding a multi-value external call.
+	if len(ret.Results) == 1 && sig.Results().Len() >= 1 {
+		if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+			if isExternalCall(pkg.Info, call, pkg.Pkg) && !isWrapConstructor(pkg.Info, call) &&
+				callHasErrorResult(pkg.Info, call) {
+				fn := callee(pkg.Info, call).(*types.Func)
+				pass.Reportf(ret.Pos(), "exported %s returns the bare error of %s.%s; wrap it with fmt.Errorf(\"...: %%w\", err) so the public boundary adds context", fd.Name.Name, fn.Pkg().Name(), fn.Name())
+			}
+			return
+		}
+	}
+	if len(ret.Results) != sig.Results().Len() {
+		return // naked return with named results: not judged
+	}
+	for i, res := range ret.Results {
+		if !isErrorType(sig.Results().At(i).Type()) {
+			continue
+		}
+		e := ast.Unparen(res)
+		if call, ok := e.(*ast.CallExpr); ok {
+			if isExternalCall(pkg.Info, call, pkg.Pkg) && !isWrapConstructor(pkg.Info, call) &&
+				callHasErrorResult(pkg.Info, call) {
+				fn := callee(pkg.Info, call).(*types.Func)
+				pass.Reportf(res.Pos(), "exported %s returns the bare error of %s.%s; wrap it with fmt.Errorf(\"...: %%w\", err) so the public boundary adds context", fd.Name.Name, fn.Pkg().Name(), fn.Name())
+			}
+			continue
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if src, bad := tainted[pkg.Info.Uses[id]]; bad {
+				pass.Reportf(res.Pos(), "exported %s returns the bare error of %s; wrap it with fmt.Errorf(\"...: %%w\", err) so the public boundary adds context", fd.Name.Name, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fixtureCases pairs each testdata directory with the analyzer it exercises
+// and the import path the fixture is loaded under (analyzer scope depends on
+// where the package sits in the module).
+var fixtureCases = []struct {
+	dir        string
+	importPath string
+	analyzer   *Analyzer
+}{
+	{"atomicmix", "jetstream/fix/atomicmix", Atomicmix},
+	{"determinism", "jetstream/internal/engine", Determinism},
+	{"panicfree", "jetstream", Panicfree},
+	{"errwrap", "jetstream", Errwrap},
+}
+
+func TestAnalyzers(t *testing.T) {
+	for _, tc := range fixtureCases {
+		t.Run(tc.dir, func(t *testing.T) {
+			mod, err := LoadFixture(filepath.Join("testdata", tc.dir), tc.importPath)
+			if err != nil {
+				t.Fatalf("LoadFixture: %v", err)
+			}
+			diags := Run(mod, []*Analyzer{tc.analyzer})
+			checkWants(t, mod, diags)
+		})
+	}
+}
+
+// want extraction: a comment containing `want "re"` (one or more quoted
+// regexps) asserts that each regexp matches a diagnostic message reported on
+// that comment's line, and that every diagnostic on the line is matched.
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type wantSpec struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func collectWants(t *testing.T, mod *Module) []*wantSpec {
+	t.Helper()
+	var wants []*wantSpec
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "want ")
+					if idx < 0 {
+						continue
+					}
+					pos := mod.Fset.Position(c.Pos())
+					quoted := quotedRe.FindAllString(c.Text[idx+len("want "):], -1)
+					if len(quoted) == 0 {
+						t.Fatalf("%s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+					}
+					for _, q := range quoted {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &wantSpec{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkWants compares reported diagnostics against the fixture's want
+// comments: every diagnostic needs a matching want on its line and every want
+// needs a matching diagnostic.
+func checkWants(t *testing.T, mod *Module, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, mod)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// TestSuppressionRequiresMatchingName checks that a directive naming a
+// different analyzer does not suppress a diagnostic.
+func TestSuppressionRequiresMatchingName(t *testing.T) {
+	allows := map[string]map[int][]directive{
+		"f.go": {10: {{analyzers: map[string]bool{"errwrap": true}}}},
+	}
+	d := Diagnostic{Analyzer: "determinism", File: "f.go", Line: 10}
+	if suppressed(allows, d) {
+		t.Fatal("directive for errwrap suppressed a determinism diagnostic")
+	}
+	d.Analyzer = "errwrap"
+	if !suppressed(allows, d) {
+		t.Fatal("directive on the same line did not suppress")
+	}
+	d.Line = 11 // directive on the line above the diagnostic
+	if !suppressed(allows, d) {
+		t.Fatal("directive on the line above did not suppress")
+	}
+	d.Line = 12
+	if suppressed(allows, d) {
+		t.Fatal("directive two lines above must not suppress")
+	}
+}
+
+// TestDiagnosticJSON pins the machine-readable shape consumed by CI.
+func TestDiagnosticJSON(t *testing.T) {
+	d := Diagnostic{Analyzer: "errwrap", File: "x.go", Line: 3, Column: 7, Message: "m"}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"analyzer":"errwrap","file":"x.go","line":3,"column":7,"message":"m"}`
+	if string(b) != want {
+		t.Fatalf("json = %s, want %s", b, want)
+	}
+	str := fmt.Sprint(d)
+	if str != "x.go:3:7: [errwrap] m" {
+		t.Fatalf("String() = %q", str)
+	}
+}
+
+// TestAllNames guards the analyzer registry the driver builds flags from.
+func TestAllNames(t *testing.T) {
+	var names []string
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("incomplete analyzer %+v", a)
+		}
+		names = append(names, a.Name)
+	}
+	got := strings.Join(names, ",")
+	if got != "atomicmix,determinism,panicfree,errwrap" {
+		t.Fatalf("All() = %s", got)
+	}
+}

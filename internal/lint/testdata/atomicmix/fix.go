@@ -1,0 +1,97 @@
+// Fixture for the atomicmix analyzer: mixed atomic/plain access (rule 1) and
+// copies of sync/atomic value types (rule 2).
+package fix
+
+import "sync/atomic"
+
+// Counter mixes function-style atomics on hits with plain access elsewhere.
+type Counter struct {
+	hits uint64
+	name string
+}
+
+// Inc establishes that hits is an atomically accessed location.
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *Counter) Bad() uint64 {
+	return c.hits // want "plain access of field hits"
+}
+
+func (c *Counter) BadStore(v uint64) {
+	c.hits = v // want "plain access of field hits"
+}
+
+func (c *Counter) Good() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// NewCounter initializes hits in a composite literal: the value is not yet
+// shared, so no diagnostic.
+func NewCounter() *Counter {
+	return &Counter{hits: 0, name: "fixture"}
+}
+
+// Name touches only the untracked field.
+func (c *Counter) Name() string {
+	return c.name
+}
+
+var total uint64
+
+func AddTotal() {
+	atomic.AddUint64(&total, 1)
+}
+
+func ReadTotal() uint64 {
+	return total // want "plain access of variable total"
+}
+
+// LocalOnly: locals are governed by escape analysis and -race, not rule 1.
+// Regression test: the plain read of x below must not be flagged.
+func LocalOnly() uint64 {
+	var x uint64
+	atomic.AddUint64(&x, 1)
+	return x
+}
+
+// Gauge exercises rule 2: typed atomics must not be copied.
+type Gauge struct {
+	val atomic.Uint64
+}
+
+// Get calls a method on the field: method selection is not a copy.
+func (g *Gauge) Get() uint64 {
+	return g.val.Load()
+}
+
+func Snapshot(g *Gauge) atomic.Uint64 {
+	return g.val // want "copy of sync/atomic.Uint64 value"
+}
+
+func CopyToLocal(g *Gauge) uint64 {
+	v := g.val // want "copy of sync/atomic.Uint64 value"
+	return v.Load()
+}
+
+// TakeAddr passes the location, not the value: allowed.
+func TakeAddr(g *Gauge) *atomic.Uint64 {
+	return &g.val
+}
+
+func RangeCopy(gs []atomic.Uint64) uint64 {
+	var sum uint64
+	for _, g := range gs { // want "range copies sync/atomic.Uint64 values"
+		sum += g.Load()
+	}
+	return sum
+}
+
+func RangeByIndex(gs []atomic.Uint64) uint64 {
+	var sum uint64
+	for i := range gs {
+		sum += gs[i].Load()
+	}
+	return sum
+}

@@ -1,0 +1,67 @@
+// Fixture for the determinism analyzer, loaded under the import path
+// jetstream/internal/engine so the package falls inside the restricted set.
+package engine
+
+import (
+	"math/rand"
+	"time"
+)
+
+func WallClock() time.Time {
+	return time.Now() // want "time.Now is wall-clock-dependent"
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since is wall-clock-dependent"
+}
+
+func GlobalRand() float64 {
+	return rand.Float64() // want "rand.Float64 draws from the unseeded global generator"
+}
+
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle draws from the unseeded global generator"
+}
+
+// Seeded routes randomness through an explicitly seeded generator: the
+// constructors are allowed and methods on the injected *rand.Rand are fine.
+func Seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Injected consumes a generator built by the caller.
+func Injected(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+func TimerRace(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(time.Second): // want "time.After is wall-clock-dependent" "select on a timer channel"
+		return -1
+	}
+}
+
+// Allowed demonstrates the justified escape hatch: the directive on the line
+// above the call suppresses the diagnostic.
+func Allowed() time.Time {
+	//jetlint:allow determinism -- operator-facing timestamp only, never enters the event order
+	return time.Now()
+}
+
+// DataChannel selects on an ordinary channel: no diagnostic.
+func DataChannel(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+//jetlint:allow determinism // want "missing justification"
+func Unjustified() int {
+	return 0
+}

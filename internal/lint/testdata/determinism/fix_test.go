@@ -1,0 +1,16 @@
+// In-package test file: the determinism analyzer exempts _test.go files, so
+// the wall-clock and global-rand uses below must produce no diagnostics.
+package engine
+
+import (
+	"math/rand"
+	"time"
+)
+
+func testClock() time.Time {
+	return time.Now()
+}
+
+func testJitter() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,82 @@
+// Fixture for the errwrap analyzer, loaded under the import path jetstream
+// so exported functions form the public boundary for rule 2.
+package fix
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+var errInternal = errors.New("fix: internal")
+
+// wrapHelper severs the chain with %v: rule 1 fires even in unexported code.
+func wrapHelper(err error) error {
+	return fmt.Errorf("ctx: %v", err) // want "fmt.Errorf has an error argument but no %w"
+}
+
+func GoodWrap(err error) error {
+	return fmt.Errorf("ctx: %w", err)
+}
+
+// NoErrorArg formats only non-error values: no %w needed.
+func NoErrorArg(n int) error {
+	return fmt.Errorf("bad count: %d (max %d)", n, 10)
+}
+
+// EscapedPercent: %%w is a literal, not a verb, so the chain is still severed.
+func EscapedPercent(err error) error {
+	return fmt.Errorf("odd: %%w %v", err) // want "fmt.Errorf has an error argument but no %w"
+}
+
+func Parse(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err // want "exported Parse returns the bare error of strconv.Atoi"
+	}
+	return n, nil
+}
+
+func ParseTail(s string) (int, error) {
+	return strconv.Atoi(s) // want "exported ParseTail returns the bare error of strconv.Atoi"
+}
+
+func ParseWrapped(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("parse %q: %w", s, err)
+	}
+	return n, nil
+}
+
+// Mint returns an error the package itself created: not a pass-through.
+func Mint(v int) error {
+	if v < 0 {
+		return errInternal
+	}
+	return nil
+}
+
+// New-style constructors from errors are wrapping-exempt.
+func MintInline(v int) error {
+	if v < 0 {
+		return errors.New("fix: negative")
+	}
+	return nil
+}
+
+// parseInternal is unexported: rule 2 only guards the exported boundary.
+func parseInternal(s string) (int, error) {
+	return strconv.Atoi(s)
+}
+
+// Reassigned clears the taint by overwriting err with a wrapped value before
+// returning: regression test for the source-order tracking.
+func Reassigned(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		err = fmt.Errorf("reassigned: %w", err)
+		return 0, err
+	}
+	return n, nil
+}

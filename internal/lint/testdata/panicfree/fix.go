@@ -1,0 +1,65 @@
+// Fixture for the panicfree analyzer, loaded under the import path
+// jetstream so the package is the public boundary.
+package fix
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+func Validate(v int) error {
+	if v < 0 {
+		panic("negative") // want "panic in exported Validate"
+	}
+	return nil
+}
+
+func MustRun() {
+	log.Fatalf("boom: %d", 1) // want "log.Fatalf in exported MustRun terminates the embedding process"
+}
+
+func Quit() {
+	os.Exit(1) // want "os.Exit in exported Quit terminates the embedding process"
+}
+
+// checkInvariant is unexported: internal assertions are out of scope.
+func checkInvariant(v int) {
+	if v < 0 {
+		panic("invariant violated")
+	}
+}
+
+type Engine struct{ started bool }
+
+func (e *Engine) Start() error {
+	if e.started {
+		panic("double start") // want "panic in exported Start"
+	}
+	e.started = true
+	return nil
+}
+
+// Stop rejects bad state with an error: the sanctioned pattern.
+func (e *Engine) Stop() error {
+	if !e.started {
+		return errors.New("not started")
+	}
+	e.started = false
+	return nil
+}
+
+type worker struct{}
+
+// Run has an unexported receiver type: not part of the public surface.
+func (w *worker) Run() {
+	panic("internal worker invariant")
+}
+
+// Deferred panics inside a function literal defined in the exported body are
+// still direct calls in that body.
+func Deferred() {
+	defer func() {
+		panic("cleanup failed") // want "panic in exported Deferred"
+	}()
+}

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"math/rand"
 	"testing"
 
 	"jetstream/internal/graph"
@@ -78,5 +79,25 @@ func TestDeleteCapPreservesGraph(t *testing.T) {
 	b := NewGenerator(Config{BatchSize: 100, InsertFrac: 0, Seed: 10}).Next(g)
 	if len(b.Deletes) > 2 {
 		t.Errorf("deleted %d of 4 edges; cap is half", len(b.Deletes))
+	}
+}
+
+func TestInjectedRandMatchesSeededConstructor(t *testing.T) {
+	g := graph.RMAT(graph.RMATConfig{Vertices: 200, Edges: 1500, Seed: 3})
+	cfg := Config{BatchSize: 50, InsertFrac: 0.5, Seed: 9}
+	a := NewGenerator(cfg).Next(g)
+	b := NewGeneratorWithRand(cfg, rand.New(rand.NewSource(cfg.Seed))).Next(g)
+	if len(a.Inserts) != len(b.Inserts) || len(a.Deletes) != len(b.Deletes) {
+		t.Fatal("injected rng diverged from seeded constructor")
+	}
+	for i := range a.Inserts {
+		if a.Inserts[i] != b.Inserts[i] {
+			t.Fatal("injected rng produced different inserts")
+		}
+	}
+	for i := range a.Deletes {
+		if a.Deletes[i] != b.Deletes[i] {
+			t.Fatal("injected rng produced different deletes")
+		}
 	}
 }

@@ -137,7 +137,11 @@ type AlgorithmSpec struct {
 
 // NewAlgorithm resolves spec to a kernel.
 func NewAlgorithm(spec AlgorithmSpec) (Algorithm, error) {
-	return algo.New(spec.Name, spec.Root, spec.Eps)
+	a, err := algo.New(spec.Name, spec.Root, spec.Eps)
+	if err != nil {
+		return nil, fmt.Errorf("jetstream: %w", err)
+	}
+	return a, nil
 }
 
 // AlgorithmByName resolves one of "sssp", "sswp", "bfs", "cc", "pagerank",
@@ -366,7 +370,7 @@ func (s *System) ApplyBatch(b Batch) (Result, error) {
 		return Result{}, &BatchError{Issues: issues}
 	}
 	if err := s.js.ApplyBatch(clean); err != nil {
-		return Result{}, err
+		return Result{}, fmt.Errorf("jetstream: apply batch: %w", err)
 	}
 	// Count repairs only after the batch actually applied, so each batch's
 	// Stats delta carries exactly its own dropped-update count (a failed

@@ -51,7 +51,7 @@ func TestCCRequiresSymmetric(t *testing.T) {
 func TestAllAlgorithmsThroughPublicAPI(t *testing.T) {
 	for _, name := range []string{"sssp", "sswp", "bfs", "cc", "pagerank", "adsorption"} {
 		t.Run(name, func(t *testing.T) {
-			a, err := AlgorithmByName(name, 0, 1e-9)
+			a, err := NewAlgorithm(AlgorithmSpec{Name: name, Eps: 1e-9})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -206,9 +206,9 @@ func TestNewAlgorithm(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewAlgorithm(%q): %v", name, err)
 		}
-		old, err := AlgorithmByName(name, 2, 1e-6)
+		old, err := NewAlgorithm(AlgorithmSpec{Name: name, Root: 2, Eps: 1e-6})
 		if err != nil {
-			t.Fatalf("AlgorithmByName(%q): %v", name, err)
+			t.Fatalf("NewAlgorithm(%q): %v", name, err)
 		}
 		if a.Name() != old.Name() {
 			t.Errorf("%q: spec and positional constructors disagree: %q vs %q", name, a.Name(), old.Name())
