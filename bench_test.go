@@ -9,6 +9,7 @@ package jetstream
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -217,16 +218,32 @@ func BenchmarkParallelism(b *testing.B) {
 	}
 }
 
-// BenchmarkStreamingBatch measures one incremental 100-update batch.
+// BenchmarkStreamingBatch measures one incremental batch end to end (engine
+// plus graph mutation), sweeping the batch size and the mutation path. The
+// delta/rebuild comparison is the system-level view of the ApplyBatch
+// speedup; the CI bench-applybatch job uploads the sweep as an artifact.
 func BenchmarkStreamingBatch(b *testing.B) {
 	g := RMAT(RMATConfig{Vertices: 20000, Edges: 160000, Seed: 1})
-	sys, _ := New(g, SSSP(0), WithTiming(false))
-	sys.RunInitial()
-	gen := NewStream(StreamConfig{BatchSize: 100, InsertFrac: 0.7, Seed: 2})
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := sys.ApplyBatch(gen.Next(sys.Graph())); err != nil {
-			b.Fatal(err)
+	for _, bs := range []int{100, 1000} {
+		for _, mode := range []string{"delta", "rebuild"} {
+			b.Run(fmt.Sprintf("%s/batch%d", mode, bs), func(b *testing.B) {
+				opts := []Option{WithTiming(false)}
+				if mode == "rebuild" {
+					opts = append(opts, WithGraphRebuild())
+				}
+				sys, err := New(g, SSSP(0), opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys.RunInitial()
+				gen := NewStream(StreamConfig{BatchSize: bs, InsertFrac: 0.7, Seed: 2})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sys.ApplyBatch(gen.Next(sys.Graph())); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }
@@ -276,16 +293,80 @@ func BenchmarkDRAMModel(b *testing.B) {
 	}
 }
 
-// BenchmarkGraphApplyBatch measures CSR version construction.
+// BenchmarkGraphApplyBatch measures CSR version construction in isolation on
+// a 100k-vertex graph: the full compacting rebuild (Apply) against the
+// slack-based in-place path (ApplyDelta), across batch sizes. Each iteration
+// ping-pongs a forward batch and its exact inverse (deletes carry the stored
+// weights), so both arms stay valid against the evolving graph and the delta
+// arm exercises the in-place path on every iteration rather than decaying
+// into compaction. The acceptance target is >=5x fewer ns/op and >=10x fewer
+// allocs/op for the delta arm at batch sizes <=1k.
 func BenchmarkGraphApplyBatch(b *testing.B) {
-	g := RMAT(RMATConfig{Vertices: 20000, Edges: 160000, Seed: 1})
-	gen := NewStream(StreamConfig{BatchSize: 200, InsertFrac: 0.5, Seed: 3})
-	batch := gen.Next(g)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := g.Apply(batch); err != nil {
-			b.Fatal(err)
+	g := RMAT(RMATConfig{Vertices: 100000, Edges: 800000, Seed: 1})
+	for _, bs := range []int{100, 1000} {
+		gen := NewStream(StreamConfig{BatchSize: bs, InsertFrac: 0.5, Seed: 3})
+		fwd := gen.Next(g)
+		rev := Batch{Inserts: fwd.Deletes, Deletes: fwd.Inserts}
+		b.Run(fmt.Sprintf("rebuild/batch%d", bs), func(b *testing.B) {
+			b.ReportAllocs()
+			cur := g
+			batches := [2]Batch{fwd, rev}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ng, err := cur.Apply(batches[i&1])
+				if err != nil {
+					b.Fatal(err)
+				}
+				cur = ng
+			}
+		})
+		b.Run(fmt.Sprintf("delta/batch%d", bs), func(b *testing.B) {
+			b.ReportAllocs()
+			// Pay the one-time dense->slacked conversion outside the loop.
+			cur, err := g.ApplyDelta(Batch{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			batches := [2]Batch{fwd, rev}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ng, err := cur.ApplyDelta(batches[i&1])
+				if err != nil {
+					b.Fatal(err)
+				}
+				cur = ng
+			}
+		})
+	}
+}
+
+// BenchmarkQueueSparseDrain measures one DrainRound over a nearly empty
+// queue as the vertex space grows: ~1k live events regardless of n. The old
+// drain walked every slot (linear in n); the bitmap drain must stay roughly
+// flat, demonstrating output-sensitive cost.
+func BenchmarkQueueSparseDrain(b *testing.B) {
+	min := queue.ReduceCoalesce(func(a, c float64) float64 {
+		if a < c {
+			return a
 		}
+		return c
+	})
+	for _, n := range []int{1 << 16, 1 << 18, 1 << 20} {
+		b.Run(fmt.Sprintf("v%d", n), func(b *testing.B) {
+			q := queue.New(n, queue.DefaultConfig(), min, nil)
+			rng := rand.New(rand.NewSource(7))
+			targets := make([]uint32, 1000)
+			for i := range targets {
+				targets[i] = uint32(rng.Intn(n))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, t := range targets {
+					q.Insert(event.New(t, 1))
+				}
+				q.DrainRound(func([]event.Event) {})
+			}
+		})
 	}
 }
 

@@ -33,8 +33,12 @@ var (
 	ErrCorruptCheckpoint = errors.New("jetstream: corrupt checkpoint")
 )
 
-// Version 2 added the Parallelism knob to the recorded configuration.
-const ckptVersion uint32 = 2
+// Version 2 added the Parallelism knob to the recorded configuration;
+// version 3 added the graph-rebuild ablation flag (WithGraphRebuild). The
+// graph itself is always serialized canonically via Edges(), so the slack
+// layout of an incrementally mutated CSR never leaks into the format: a
+// restored system re-slacks lazily on its first delta batch.
+const ckptVersion uint32 = 3
 
 var ckptCRC = crc64.MakeTable(crc64.ECMA)
 
@@ -156,6 +160,7 @@ func (s *System) Checkpoint(w io.Writer) error {
 	}
 	p.u8(boolByte(s.cfg.Engine.Timing))
 	p.u8(boolByte(s.cfg.Engine.DetailedTiming))
+	p.u8(boolByte(s.cfg.RebuildGraph))
 	p.u32(uint32(s.cfg.Engine.Parallelism))
 	p.u32(uint32(s.ingest))
 	p.u64(uint64(s.wd.Every))
@@ -290,6 +295,10 @@ func Restore(r io.Reader, opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	rebuild, err := p.u8()
+	if err != nil {
+		return nil, err
+	}
 	parallel, err := p.u32()
 	if err != nil {
 		return nil, err
@@ -414,6 +423,9 @@ func Restore(r io.Reader, opts ...Option) (*System, error) {
 	}
 	if detailed != 0 {
 		all = append(all, WithDetailedTiming())
+	}
+	if rebuild != 0 {
+		all = append(all, WithGraphRebuild())
 	}
 	all = append(all, opts...)
 	sys, err := New(g, alg, all...)

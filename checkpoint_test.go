@@ -225,3 +225,81 @@ func TestRestoreOrColdStartFallback(t *testing.T) {
 		t.Errorf("restore counted a fallback: %d", sys2.TotalStats().ColdStartFallbacks)
 	}
 }
+
+// TestCheckpointRecordsRebuildFlag checks the v3 format round-trips the
+// mutation-path choice: a system pinned to full rebuilds must restore pinned.
+func TestCheckpointRecordsRebuildFlag(t *testing.T) {
+	orig, gen := buildStreamed(t, 3, WithTiming(false), WithParallelism(1), WithGraphRebuild())
+	var buf bytes.Buffer
+	if err := orig.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Continue both: with the flag restored, both sides take the rebuild path
+	// and must stay counter-identical (the delta path books different
+	// EdgeReads against slacked layouts, so a dropped flag would show here).
+	for i := 0; i < 3; i++ {
+		b := gen.Next(orig.Graph())
+		if _, err := orig.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := restored.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if orig.TotalStats() != restored.TotalStats() {
+		t.Errorf("continued counters differ:\n%+v\nwant\n%+v", restored.TotalStats(), orig.TotalStats())
+	}
+	if d := algo.MaxAbsDiff(orig.State(), restored.State()); d != 0 {
+		t.Errorf("states differ by %v after continuation", d)
+	}
+}
+
+// TestCheckpointMidDeltaChain takes a checkpoint while the live graph is a
+// slacked delta head with frozen ancestors, and checks the restored graph is
+// the canonical compact form with identical logical content.
+func TestCheckpointMidDeltaChain(t *testing.T) {
+	orig, gen := buildStreamed(t, 6, WithTiming(false), WithParallelism(1))
+	var buf bytes.Buffer
+	if err := orig.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	og, rg := orig.Graph(), restored.Graph()
+	if err := rg.Validate(); err != nil {
+		t.Fatalf("restored graph invalid: %v", err)
+	}
+	// The restored graph is dense (slack is never serialized) but must carry
+	// the same logical content as the slacked original.
+	if rg.EdgeSlots() != rg.NumEdges() {
+		t.Errorf("restored graph has slack: %d slots for %d edges", rg.EdgeSlots(), rg.NumEdges())
+	}
+	oe, re := og.Edges(), rg.Edges()
+	if len(oe) != len(re) {
+		t.Fatalf("edge counts differ: %d vs %d", len(oe), len(re))
+	}
+	for i := range oe {
+		if oe[i] != re[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, oe[i], re[i])
+		}
+	}
+	// Both continue through the same batches to identical states.
+	for i := 0; i < 3; i++ {
+		b := gen.Next(orig.Graph())
+		if _, err := orig.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := restored.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := algo.MaxAbsDiff(orig.State(), restored.State()); d != 0 {
+		t.Errorf("states differ by %v after continuation", d)
+	}
+}

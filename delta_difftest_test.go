@@ -1,0 +1,95 @@
+package jetstream
+
+// Differential harness for the incremental mutation path: the same batch
+// stream is replayed through the default delta-applying system and through a
+// system pinned to the full-rebuild reference path (WithGraphRebuild). The
+// two runs must agree bitwise — both operate on the same logical graph
+// content, so the event timelines are identical and no tolerance is needed,
+// even for the accumulative kernels.
+
+import (
+	"testing"
+
+	"jetstream/internal/algo"
+)
+
+// TestDeltaVsRebuildAllAlgorithms drives all six kernels through identical
+// streams on both mutation paths and demands bitwise-equal states plus
+// identical logical graphs after every batch.
+func TestDeltaVsRebuildAllAlgorithms(t *testing.T) {
+	for _, name := range algo.Names() {
+		t.Run(name, func(t *testing.T) {
+			a := makeAlgByName(t, name)
+			g, stream := difftestStream(t, a, 113, 8, 32)
+
+			mk := func(opts ...Option) *System {
+				// Parallelism 1: the parallel engine's accumulative kernels are
+				// only tolerance-equal across runs; the mutation paths must be
+				// compared on the deterministic sequential engine.
+				opts = append([]Option{WithTiming(false), WithParallelism(1)}, opts...)
+				sys, err := New(g, makeAlgByName(t, name), opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys.RunInitial()
+				return sys
+			}
+			delta := mk()
+			rebuild := mk(WithGraphRebuild())
+
+			for i, b := range stream {
+				if _, err := delta.ApplyBatch(b); err != nil {
+					t.Fatalf("delta batch %d: %v", i, err)
+				}
+				if _, err := rebuild.ApplyBatch(b); err != nil {
+					t.Fatalf("rebuild batch %d: %v", i, err)
+				}
+				dg, rg := delta.Graph(), rebuild.Graph()
+				if err := dg.Validate(); err != nil {
+					t.Fatalf("batch %d: delta graph invalid: %v", i, err)
+				}
+				de, re := dg.Edges(), rg.Edges()
+				if len(de) != len(re) {
+					t.Fatalf("batch %d: edge counts diverge: %d vs %d", i, len(de), len(re))
+				}
+				for j := range de {
+					if de[j] != re[j] {
+						t.Fatalf("batch %d: edge %d diverges: %+v vs %+v", i, j, de[j], re[j])
+					}
+				}
+				if d := algo.MaxAbsDiff(delta.State(), rebuild.State()); d != 0 {
+					t.Fatalf("batch %d: states differ by %v (want bitwise equal)", i, d)
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaVsRebuildWithDetailedTiming repeats the comparison with the
+// detailed timing layer on: the delta path reports EdgeSlots (physical slots
+// including slack) as its edge address space, and cycle counts must still
+// match the rebuild path exactly only in the functional state — cycle
+// estimates may differ since the memory layouts differ, but both must run.
+func TestDeltaVsRebuildWithDetailedTiming(t *testing.T) {
+	a := makeAlgByName(t, "sssp")
+	g, stream := difftestStream(t, a, 211, 5, 16)
+
+	run := func(opts ...Option) []float64 {
+		opts = append([]Option{WithTiming(true), WithDetailedTiming()}, opts...)
+		sys, err := New(g, makeAlgByName(t, "sssp"), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.RunInitial()
+		for i, b := range stream {
+			if _, err := sys.ApplyBatch(b); err != nil {
+				t.Fatalf("batch %d: %v", i, err)
+			}
+		}
+		return sys.State()
+	}
+
+	if d := algo.MaxAbsDiff(run(), run(WithGraphRebuild())); d != 0 {
+		t.Fatalf("detailed-timing states differ by %v (want bitwise equal)", d)
+	}
+}

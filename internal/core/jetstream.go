@@ -83,6 +83,12 @@ type Config struct {
 	// re-insertion events — instead of fusing the negate/re-add pairs into
 	// net events at the Stream Reader.
 	TwoPhaseAccumulate bool
+	// RebuildGraph applies each batch by rebuilding the whole CSR (the
+	// paper's "write a new CSR and swap the pointer" host model) instead of
+	// the incremental slack-based mutation. The event flow is identical
+	// either way; the switch exists to measure the host-side cost difference
+	// and as the reference side of the differential tests.
+	RebuildGraph bool
 }
 
 // DefaultConfig returns the paper's configuration with the DAP optimization,
@@ -225,7 +231,13 @@ func (j *JetStream) RunInitial() {
 // G+Δ. On return the instance holds the new graph version and the converged
 // states for it.
 func (j *JetStream) ApplyBatch(b graph.Batch) error {
-	ng, err := j.g.Apply(b)
+	var ng *graph.CSR
+	var err error
+	if j.cfg.RebuildGraph {
+		ng, err = j.g.Apply(b)
+	} else {
+		ng, err = j.g.ApplyDelta(b)
+	}
 	if err != nil {
 		return err
 	}
@@ -293,7 +305,7 @@ func (j *JetStream) applySelective(b graph.Batch, ng *graph.CSR) {
 	j.eng.ChargeSpill(2 * len(j.impact)) // Impact Buffer round trip (§4.5)
 	var fetches []engine.EdgeFetch
 	requests := 0
-	inRegion := uint64(ng.NumEdges()) // in-CSR lives after the out-CSR
+	inRegion := uint64(ng.EdgeSlots()) // in-CSR lives after the out-CSR (incl. slack)
 	for _, v := range j.impact {
 		// Re-seed the vertex's initial-event contribution: the converged
 		// state is the fixpoint over edge contributions AND initial events,

@@ -75,24 +75,19 @@ func buildSorted(n int, es []Edge) *CSR {
 		g.inW[i] = e.Weight
 		cursor[e.Dst]++
 	}
-	// Symmetry bit: the edge set is closed under reversal iff every vertex's
+	// Symmetry count: the edge set is closed under reversal iff every vertex's
 	// out-neighbor list equals its in-neighbor list — both are sorted here
 	// (es is sorted by src then dst, and the in-index fill above preserves
-	// source order), so an elementwise compare decides it in O(V+E).
-	g.symmetric = true
-outer:
+	// source order), so an elementwise compare decides it in O(V+E). The full
+	// per-vertex count (not just a bit) lets the delta mutation layer maintain
+	// symmetry incrementally: a batch only changes the asymmetric-vertex count
+	// at the vertices it touches.
+	g.m = len(es)
 	for v := 0; v < n; v++ {
 		lo, hi := g.outPtr[v], g.outPtr[v+1]
-		ilo := g.inPtr[v]
-		if hi-lo != g.inPtr[v+1]-ilo {
-			g.symmetric = false
-			break
-		}
-		for i := uint64(0); i < hi-lo; i++ {
-			if g.outDst[lo+i] != g.inSrc[ilo+i] {
-				g.symmetric = false
-				break outer
-			}
+		ilo, ihi := g.inPtr[v], g.inPtr[v+1]
+		if !segIDsEqual(g.outDst[lo:hi], g.inSrc[ilo:ihi]) {
+			g.asymCount++
 		}
 	}
 	return g

@@ -4,6 +4,17 @@
 // version (host-side graph versioning), synthetic workload generators that
 // stand in for the paper's five real-world datasets, and an edge-cut
 // partitioner used to slice graphs that exceed the on-chip queue capacity.
+//
+// Two mutation paths produce the next graph version G+Δ:
+//
+//   - Apply rebuilds a dense CSR from scratch — the paper's "simplest case"
+//     (§4.7) where the host writes a complete new CSR and swaps the pointer.
+//     Cost O(V+E) per batch regardless of batch size.
+//   - ApplyDelta (delta.go) mutates only the adjacencies of the vertices a
+//     batch touches, using per-vertex slack gaps in the edge arrays, and
+//     preserves the versioned pointer-swap semantics by snapshotting the
+//     pre-mutation adjacencies onto the superseded version. Cost
+//     O(Σ deg(affected)) per batch, amortized.
 package graph
 
 import (
@@ -26,18 +37,34 @@ type Edge struct {
 	Weight   Weight
 }
 
-// CSR is an immutable compressed-sparse-row graph with both directions
-// indexed. JetStream requires the in-edge index for reapproximation request
-// events (paper §4.7: "JetStream requires access to the incoming edges for
-// each vertex, which are stored in another CSR structure").
+// CSR is a compressed-sparse-row graph with both directions indexed.
+// JetStream requires the in-edge index for reapproximation request events
+// (paper §4.7: "JetStream requires access to the incoming edges for each
+// vertex, which are stored in another CSR structure").
+//
+// A CSR built by Build/buildSorted is dense: each vertex's adjacency is the
+// contiguous range [outPtr[v], outPtr[v+1]). A CSR produced by the delta
+// mutation layer additionally carries per-vertex slack: outPtr[v] is the
+// start of v's segment, outPtr[v+1] its capacity end, and outLen[v] the used
+// count — the gap absorbs future insertions without moving other segments.
+//
+// Logically every CSR version is immutable: readers of any version always
+// observe that version's edge set. Physically, ApplyDelta mutates the edge
+// arrays shared along a version chain and preserves old versions by
+// snapshotting the overwritten adjacencies (see delta.go), so reads on a
+// superseded version consult the snapshot chain. A version that has never
+// been superseded reads straight from its arrays.
 type CSR struct {
 	n int
+	m int // logical directed edge count
 
 	outPtr []uint64
+	outLen []uint32 // used counts; nil for dense layouts (used == capacity)
 	outDst []VertexID
 	outW   []Weight
 
 	inPtr []uint64
+	inLen []uint32
 	inSrc []VertexID
 	inW   []Weight
 
@@ -45,34 +72,104 @@ type CSR struct {
 	// Adsorption normalizes propagation by it.
 	outWeightSum []float64
 
-	// symmetric caches whether the edge set is closed under reversal,
-	// computed once at construction (buildSorted). Undirected algorithms
-	// (CC) check it instead of re-scanning every edge with HasEdge.
-	symmetric bool
+	// asymCount is the number of vertices whose out-neighbor id list differs
+	// from their in-neighbor id list; 0 means the edge set is closed under
+	// reversal. Maintained incrementally by the delta mutation layer.
+	asymCount int
+
+	// ver holds delta-mutation bookkeeping: nil for plain dense builds,
+	// otherwise the version's role in a mutation chain (head scratch state or
+	// the undo snapshots of a superseded version). See delta.go.
+	ver *versionInfo
 }
 
 // Symmetric reports whether every edge (u,v) has a reverse edge (v,u),
-// ignoring weights. Computed at construction time, so this is O(1).
-func (g *CSR) Symmetric() bool { return g.symmetric }
+// ignoring weights. Maintained at construction and across delta mutation, so
+// this is O(1). Undirected algorithms (CC) check it instead of re-scanning
+// every edge with HasEdge.
+func (g *CSR) Symmetric() bool { return g.asymCount == 0 }
 
 // NumVertices returns the vertex count.
 func (g *CSR) NumVertices() int { return g.n }
 
 // NumEdges returns the directed edge count.
-func (g *CSR) NumEdges() int { return len(g.outDst) }
+func (g *CSR) NumEdges() int { return g.m }
+
+// EdgeSlots returns the physical size of the out-edge arrays — edge count
+// plus slack gaps for delta-mutated versions, exactly the edge count for
+// dense builds. The timing layer places the in-edge region after this many
+// out-edge records so modeled addresses never alias.
+func (g *CSR) EdgeSlots() int { return len(g.outDst) }
+
+// outSeg returns v's out-adjacency (destinations and weights, sorted by
+// destination) as observed by this version. A superseded version consults
+// its undo snapshots before deferring to the next version in the chain.
+func (g *CSR) outSeg(v VertexID) ([]VertexID, []Weight) {
+	cur := g
+	for {
+		vi := cur.ver
+		if vi == nil || !vi.frozen {
+			lo := cur.outPtr[v]
+			hi := cur.outPtr[v+1]
+			if cur.outLen != nil {
+				hi = lo + uint64(cur.outLen[v])
+			}
+			return cur.outDst[lo:hi], cur.outW[lo:hi]
+		}
+		if u := vi.lookupOut(v); u != nil {
+			return u.dst, u.w
+		}
+		cur = vi.next
+	}
+}
+
+// inSeg returns v's in-adjacency (sources and weights, sorted by source) as
+// observed by this version.
+func (g *CSR) inSeg(v VertexID) ([]VertexID, []Weight) {
+	cur := g
+	for {
+		vi := cur.ver
+		if vi == nil || !vi.frozen {
+			lo := cur.inPtr[v]
+			hi := cur.inPtr[v+1]
+			if cur.inLen != nil {
+				hi = lo + uint64(cur.inLen[v])
+			}
+			return cur.inSrc[lo:hi], cur.inW[lo:hi]
+		}
+		if u := vi.lookupIn(v); u != nil {
+			return u.src, u.w
+		}
+		cur = vi.next
+	}
+}
 
 // OutDegree returns the number of outgoing edges of v.
 func (g *CSR) OutDegree(v VertexID) int {
-	return int(g.outPtr[v+1] - g.outPtr[v])
+	ids, _ := g.outSeg(v)
+	return len(ids)
 }
 
 // InDegree returns the number of incoming edges of v.
 func (g *CSR) InDegree(v VertexID) int {
-	return int(g.inPtr[v+1] - g.inPtr[v])
+	ids, _ := g.inSeg(v)
+	return len(ids)
 }
 
 // OutWeightSum returns the sum of weights on v's outgoing edges.
-func (g *CSR) OutWeightSum(v VertexID) float64 { return g.outWeightSum[v] }
+func (g *CSR) OutWeightSum(v VertexID) float64 {
+	cur := g
+	for {
+		vi := cur.ver
+		if vi == nil || !vi.frozen {
+			return cur.outWeightSum[v]
+		}
+		if u := vi.lookupOut(v); u != nil {
+			return u.wsum
+		}
+		cur = vi.next
+	}
+}
 
 // Neighbor is one endpoint+weight pair of an adjacency list.
 type Neighbor struct {
@@ -83,15 +180,17 @@ type Neighbor struct {
 // OutEdges calls fn for every outgoing edge of u. It avoids allocation so the
 // engines can use it on hot paths.
 func (g *CSR) OutEdges(u VertexID, fn func(dst VertexID, w Weight)) {
-	for i := g.outPtr[u]; i < g.outPtr[u+1]; i++ {
-		fn(g.outDst[i], g.outW[i])
+	ids, ws := g.outSeg(u)
+	for i, dst := range ids {
+		fn(dst, ws[i])
 	}
 }
 
 // InEdges calls fn for every incoming edge of v.
 func (g *CSR) InEdges(v VertexID, fn func(src VertexID, w Weight)) {
-	for i := g.inPtr[v]; i < g.inPtr[v+1]; i++ {
-		fn(g.inSrc[i], g.inW[i])
+	ids, ws := g.inSeg(v)
+	for i, src := range ids {
+		fn(src, ws[i])
 	}
 }
 
@@ -112,39 +211,77 @@ func (g *CSR) InNeighbors(v VertexID) []Neighbor {
 // HasEdge reports whether edge (u,v) exists and, if so, its weight. Out
 // adjacencies are sorted by destination so this is a binary search.
 func (g *CSR) HasEdge(u, v VertexID) (Weight, bool) {
-	lo, hi := g.outPtr[u], g.outPtr[u+1]
-	dst := g.outDst[lo:hi]
-	i := sort.Search(len(dst), func(i int) bool { return dst[i] >= v })
-	if i < len(dst) && dst[i] == v {
-		return g.outW[lo+uint64(i)], true
+	ids, ws := g.outSeg(u)
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= v })
+	if i < len(ids) && ids[i] == v {
+		return ws[i], true
+	}
+	return 0, false
+}
+
+// searchIn reports whether (u,v) exists as an in edge of v and, if so, its
+// weight — the in-direction mirror of HasEdge, used by Validate.
+func (g *CSR) searchIn(u, v VertexID) (Weight, bool) {
+	ids, ws := g.inSeg(v)
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= u })
+	if i < len(ids) && ids[i] == u {
+		return ws[i], true
 	}
 	return 0, false
 }
 
 // EdgeAt returns the i-th edge in (src, dst) order without materializing the
-// whole edge list; the update-stream generator samples edges with it.
+// whole edge list; the update-stream generator samples edges with it. On
+// dense layouts this is a binary search over the pointer array; slacked
+// layouts rank through a lazily built per-version prefix index (one O(V)
+// build per graph version, amortized over the batch's samples). The rank
+// index is built on first use, so EdgeAt on a slacked version is not safe for
+// concurrent callers — the single-threaded host mutation path is the only
+// intended user.
 func (g *CSR) EdgeAt(i int) Edge {
-	if i < 0 || i >= len(g.outDst) {
+	if i < 0 || i >= g.m {
 		panic(fmt.Sprintf("graph: EdgeAt(%d) out of range", i))
 	}
-	// Find the source: the last vertex whose adjacency starts at or before i.
-	u := sort.Search(g.n, func(v int) bool { return g.outPtr[v+1] > uint64(i) })
-	return Edge{VertexID(u), g.outDst[i], g.outW[i]}
+	if g.outLen == nil && (g.ver == nil || !g.ver.frozen) {
+		// Dense layout: pointers double as the rank index.
+		u := sort.Search(g.n, func(v int) bool { return g.outPtr[v+1] > uint64(i) })
+		return Edge{VertexID(u), g.outDst[i], g.outW[i]}
+	}
+	if g.ver != nil && !g.ver.frozen {
+		cum := g.ver.rankIndex(g)
+		u := sort.Search(g.n, func(v int) bool { return cum[v+1] > uint64(i) })
+		off := g.outPtr[u] + (uint64(i) - cum[u])
+		return Edge{VertexID(u), g.outDst[off], g.outW[off]}
+	}
+	// Superseded version: rare path, scan the logical segments.
+	for v := 0; v < g.n; v++ {
+		ids, ws := g.outSeg(VertexID(v))
+		if i < len(ids) {
+			return Edge{VertexID(v), ids[i], ws[i]}
+		}
+		i -= len(ids)
+	}
+	panic("graph: EdgeAt rank exceeded edge count") // unreachable: i < g.m
 }
 
-// Edges returns all edges in (src, dst) order; used by tests and mutation.
+// Edges returns all edges in (src, dst) order; used by tests, mutation, and
+// checkpoint serialization (which canonicalizes the slack layout away by
+// construction — the returned list never contains gap slots).
 func (g *CSR) Edges() []Edge {
 	out := make([]Edge, 0, g.NumEdges())
 	for u := 0; u < g.n; u++ {
-		for i := g.outPtr[u]; i < g.outPtr[u+1]; i++ {
-			out = append(out, Edge{VertexID(u), g.outDst[i], g.outW[i]})
+		ids, ws := g.outSeg(VertexID(u))
+		for i, dst := range ids {
+			out = append(out, Edge{VertexID(u), dst, ws[i]})
 		}
 	}
 	return out
 }
 
 // EdgeOffset returns the index of u's adjacency in the flat edge arrays;
-// the timing layer uses it to compute edge-cache addresses.
+// the timing layer uses it to compute edge-cache addresses. Offsets are
+// stable across in-place delta mutation (segments never move between
+// compactions) and must be re-queried after a version swap.
 func (g *CSR) EdgeOffset(u VertexID) uint64 { return g.outPtr[u] }
 
 // InEdgeOffset returns the index of v's in-adjacency in the flat in-edge
@@ -157,10 +294,79 @@ func (g *CSR) String() string {
 	return fmt.Sprintf("CSR{V=%d, E=%d}", g.n, g.NumEdges())
 }
 
-// Validate checks structural invariants: monotone pointers, in/out edge sets
-// mirror each other, adjacencies sorted, and no out-of-range endpoints.
-// Tests call it after every build and mutation.
+// Validate checks structural invariants: monotone pointers, used counts
+// within capacity, in/out edge sets mirror each other, adjacencies sorted,
+// consistent cached aggregates (outWeightSum, the symmetry count), and no
+// out-of-range endpoints. Tests call it after every build and mutation.
+//
+// The mirror check binary-searches the opposite-direction adjacency for each
+// edge (O(E log d̄)) instead of materializing an O(E) map, so
+// Validate-after-every-batch test loops stay cheap.
 func (g *CSR) Validate() error {
+	live := g.ver == nil || !g.ver.frozen
+	if live {
+		if err := g.validateLayout(); err != nil {
+			return err
+		}
+	}
+	outCount, inCount := 0, 0
+	asym := 0
+	for v := 0; v < g.n; v++ {
+		ids, ws := g.outSeg(VertexID(v))
+		outCount += len(ids)
+		for i, dst := range ids {
+			if int(dst) >= g.n {
+				return fmt.Errorf("graph: edge (%d,%d) out of range", v, dst)
+			}
+			if i > 0 && ids[i-1] >= dst {
+				return fmt.Errorf("graph: out adjacency of %d not strictly sorted", v)
+			}
+			w, ok := g.searchIn(VertexID(v), dst)
+			if !ok {
+				return fmt.Errorf("graph: out edge (%d,%d) has no in mirror", v, dst)
+			}
+			if w != ws[i] {
+				return fmt.Errorf("graph: weight mismatch on edge (%d,%d)", v, dst)
+			}
+		}
+		inIDs, _ := g.inSeg(VertexID(v))
+		inCount += len(inIDs)
+		for i, src := range inIDs {
+			if int(src) >= g.n {
+				return fmt.Errorf("graph: in edge (%d,%d) out of range", src, v)
+			}
+			if i > 0 && inIDs[i-1] >= src {
+				return fmt.Errorf("graph: in adjacency of %d not strictly sorted", v)
+			}
+		}
+		// Every out edge has an in mirror, per-vertex lists are duplicate-free
+		// (strictly sorted), and the totals match below — so the in set is
+		// exactly the mirror of the out set without a second search pass.
+		if !segIDsEqual(ids, inIDs) {
+			asym++
+		}
+		var sum float64
+		for _, w := range ws {
+			sum += w
+		}
+		if math.Abs(sum-g.OutWeightSum(VertexID(v))) > 1e-9 {
+			return fmt.Errorf("graph: stale outWeightSum at vertex %d", v)
+		}
+	}
+	if outCount != g.m {
+		return fmt.Errorf("graph: out edge count %d != recorded count %d", outCount, g.m)
+	}
+	if inCount != g.m {
+		return fmt.Errorf("graph: in edge count %d != out edge count %d", inCount, g.m)
+	}
+	if asym != g.asymCount {
+		return fmt.Errorf("graph: symmetry count %d, recomputed %d", g.asymCount, asym)
+	}
+	return nil
+}
+
+// validateLayout checks the physical array invariants of a live version.
+func (g *CSR) validateLayout() error {
 	if len(g.outPtr) != g.n+1 || len(g.inPtr) != g.n+1 {
 		return fmt.Errorf("graph: pointer array length mismatch")
 	}
@@ -168,58 +374,39 @@ func (g *CSR) Validate() error {
 		return fmt.Errorf("graph: pointer arrays must start at 0")
 	}
 	if g.outPtr[g.n] != uint64(len(g.outDst)) || g.inPtr[g.n] != uint64(len(g.inSrc)) {
-		return fmt.Errorf("graph: pointer arrays must end at edge count")
+		return fmt.Errorf("graph: pointer arrays must end at the array size")
+	}
+	if (g.outLen == nil) != (g.inLen == nil) {
+		return fmt.Errorf("graph: slack layout must cover both directions")
 	}
 	for v := 0; v < g.n; v++ {
 		if g.outPtr[v] > g.outPtr[v+1] || g.inPtr[v] > g.inPtr[v+1] {
 			return fmt.Errorf("graph: non-monotone pointers at vertex %d", v)
 		}
-		for i := g.outPtr[v] + 1; i < g.outPtr[v+1]; i++ {
-			if g.outDst[i-1] >= g.outDst[i] {
-				return fmt.Errorf("graph: out adjacency of %d not strictly sorted", v)
+		if g.outLen != nil {
+			if uint64(g.outLen[v]) > g.outPtr[v+1]-g.outPtr[v] {
+				return fmt.Errorf("graph: out segment of %d overflows its capacity", v)
 			}
-		}
-		for i := g.inPtr[v] + 1; i < g.inPtr[v+1]; i++ {
-			if g.inSrc[i-1] >= g.inSrc[i] {
-				return fmt.Errorf("graph: in adjacency of %d not strictly sorted", v)
+			if uint64(g.inLen[v]) > g.inPtr[v+1]-g.inPtr[v] {
+				return fmt.Errorf("graph: in segment of %d overflows its capacity", v)
 			}
 		}
 	}
-	// Mirror check: every out edge must appear as an in edge and vice versa.
-	type key struct{ u, v VertexID }
-	seen := make(map[key]Weight, len(g.outDst))
-	for u := 0; u < g.n; u++ {
-		for i := g.outPtr[u]; i < g.outPtr[u+1]; i++ {
-			if int(g.outDst[i]) >= g.n {
-				return fmt.Errorf("graph: edge (%d,%d) out of range", u, g.outDst[i])
-			}
-			seen[key{VertexID(u), g.outDst[i]}] = g.outW[i]
-		}
-	}
-	count := 0
-	for v := 0; v < g.n; v++ {
-		for i := g.inPtr[v]; i < g.inPtr[v+1]; i++ {
-			w, ok := seen[key{g.inSrc[i], VertexID(v)}]
-			if !ok {
-				return fmt.Errorf("graph: in edge (%d,%d) has no out mirror", g.inSrc[i], v)
-			}
-			if w != g.inW[i] {
-				return fmt.Errorf("graph: weight mismatch on edge (%d,%d)", g.inSrc[i], v)
-			}
-			count++
-		}
-	}
-	if count != len(g.outDst) {
-		return fmt.Errorf("graph: in edge count %d != out edge count %d", count, len(g.outDst))
-	}
-	for v := 0; v < g.n; v++ {
-		var sum float64
-		for i := g.outPtr[v]; i < g.outPtr[v+1]; i++ {
-			sum += g.outW[i]
-		}
-		if math.Abs(sum-g.outWeightSum[v]) > 1e-9 {
-			return fmt.Errorf("graph: stale outWeightSum at vertex %d", v)
-		}
+	if g.outLen == nil && g.m != len(g.outDst) {
+		return fmt.Errorf("graph: dense layout records %d edges over %d slots", g.m, len(g.outDst))
 	}
 	return nil
+}
+
+// segIDsEqual compares two sorted neighbor-id lists elementwise.
+func segIDsEqual(a, b []VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

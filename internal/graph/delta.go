@@ -1,0 +1,671 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// DeltaConfig tunes the incremental mutation layer.
+type DeltaConfig struct {
+	// SlackMin is the minimum number of spare slots reserved per vertex per
+	// direction when a slacked layout is (re)built.
+	SlackMin int
+	// SlackFrac adds deg·SlackFrac spare slots on top of SlackMin, so
+	// high-degree vertices absorb proportionally more churn between rebuilds.
+	SlackFrac float64
+	// CompactFrac bounds accumulated edits: once the number of updates applied
+	// in place since the last rebuild exceeds CompactFrac·E, the next batch
+	// triggers a compacting rebuild that restores fresh slack everywhere. This
+	// amortizes the O(V+E) rebuild over Θ(E) cheap updates.
+	CompactFrac float64
+}
+
+// DefaultDeltaConfig returns the tuning used by the system hot path.
+func DefaultDeltaConfig() DeltaConfig {
+	return DeltaConfig{SlackMin: 4, SlackFrac: 0.125, CompactFrac: 0.25}
+}
+
+// outUndo snapshots one vertex's pre-mutation out-adjacency. When ApplyDelta
+// mutates arrays shared with an older version, the older version keeps
+// serving its original edge set through these snapshots.
+type outUndo struct {
+	v    VertexID
+	dst  []VertexID
+	w    []Weight
+	wsum float64
+}
+
+// inUndo is the in-direction snapshot.
+type inUndo struct {
+	v   VertexID
+	src []VertexID
+	w   []Weight
+}
+
+// versionInfo is the delta-mutation bookkeeping hung off a CSR.
+//
+// On the live head of a mutation chain (frozen == false) it carries the
+// config, the edits-since-rebuild counter, reusable scratch buffers, and the
+// lazy EdgeAt rank index. When the head is superseded by ApplyDelta, it is
+// frozen in place: its undo lists (sorted by vertex) preserve the adjacencies
+// the mutation overwrote, and next links to the version that replaced it so
+// reads walk forward for vertices the local undo does not cover.
+type versionInfo struct {
+	cfg     DeltaConfig
+	frozen  bool
+	undoOut []outUndo // sorted by v; pre-mutation out segments
+	undoIn  []inUndo  // sorted by v; pre-mutation in segments
+	next    *CSR
+
+	edits   int // in-place updates applied since the last rebuild
+	scratch *deltaScratch
+	cum     []uint64 // lazy EdgeAt rank index; nil until first use
+}
+
+// lookupOut returns the frozen out-snapshot for v, or nil if v's out-adjacency
+// was not touched by the batch that superseded this version.
+func (vi *versionInfo) lookupOut(v VertexID) *outUndo {
+	s := vi.undoOut
+	i := sort.Search(len(s), func(i int) bool { return s[i].v >= v })
+	if i < len(s) && s[i].v == v {
+		return &s[i]
+	}
+	return nil
+}
+
+// lookupIn is the in-direction mirror of lookupOut.
+func (vi *versionInfo) lookupIn(v VertexID) *inUndo {
+	s := vi.undoIn
+	i := sort.Search(len(s), func(i int) bool { return s[i].v >= v })
+	if i < len(s) && s[i].v == v {
+		return &s[i]
+	}
+	return nil
+}
+
+// csrWithVer bundles a head CSR with its versionInfo so the steady-state
+// in-place path allocates exactly one object per batch (undo snapshots come
+// from the scratch arenas, amortized across batches).
+type csrWithVer struct {
+	csr CSR
+	vi  versionInfo
+}
+
+// edgeOp is one batch update tagged with its operation; a weight change is a
+// (delete, insert) pair on the same edge and the tag keeps them distinct
+// after sorting.
+type edgeOp struct {
+	e   Edge
+	del bool
+}
+
+// deltaScratch holds buffers reused across batches so steady-state in-place
+// application allocates only the head object; even the undo snapshots old
+// versions retain come from chunked arenas whose allocations amortize away.
+type deltaScratch struct {
+	bySrc, byDst []edgeOp   // batch updates sorted for each direction
+	ids          []VertexID // merge buffer: neighbor ids
+	ws           []Weight   // merge buffer: weights
+	affected     []VertexID // vertices whose adjacency changed this batch
+	cumBuf       []uint64   // backing array for the live head's rank index
+
+	del, seen map[edgeKey]bool // checkBatch sets, cleared per batch
+
+	slab    slabArena // undo segment snapshots
+	entries undoArena // undo entry lists
+}
+
+type edgeKey struct{ u, v VertexID }
+
+// slabArena hands out paired (id, weight) snapshot buffers from shared
+// chunks. Chunks are append-only: once a sub-slice is handed to a frozen
+// version it is never overwritten, and a chunk is dropped for a fresh one
+// when the next request does not fit — the garbage collector reclaims it
+// when the last frozen version referencing it dies.
+type slabArena struct {
+	ids []VertexID
+	ws  []Weight
+}
+
+const slabChunkMin = 1 << 15
+
+// reserve guarantees the next n elements fit in the current chunk, so a batch
+// that pre-computes its total snapshot footprint takes at most one chunk
+// allocation (amortized to a fraction by the 8x over-allocation).
+func (a *slabArena) reserve(n int) {
+	if len(a.ids)+n > cap(a.ids) {
+		c := 8 * n
+		if c < slabChunkMin {
+			c = slabChunkMin
+		}
+		a.ids = make([]VertexID, 0, c)
+		a.ws = make([]Weight, 0, c)
+	}
+}
+
+func (a *slabArena) alloc(n int) ([]VertexID, []Weight) {
+	if len(a.ids)+n > cap(a.ids) {
+		c := 8 * n
+		if c < slabChunkMin {
+			c = slabChunkMin
+		}
+		a.ids = make([]VertexID, 0, c)
+		a.ws = make([]Weight, 0, c)
+	}
+	i := len(a.ids)
+	a.ids = a.ids[:i+n]
+	a.ws = a.ws[:i+n]
+	return a.ids[i : i+n : i+n], a.ws[i : i+n : i+n]
+}
+
+// undoArena chunk-allocates the per-batch undo entry lists; each batch's list
+// must be one contiguous run so frozen lookups can binary-search it.
+type undoArena struct {
+	out []outUndo
+	in  []inUndo
+}
+
+const entryChunkMin = 1 << 10
+
+func (a *undoArena) allocOut(n int) []outUndo {
+	if len(a.out)+n > cap(a.out) {
+		c := 8 * n
+		if c < entryChunkMin {
+			c = entryChunkMin
+		}
+		a.out = make([]outUndo, 0, c)
+	}
+	i := len(a.out)
+	a.out = a.out[:i+n]
+	return a.out[i : i : i+n]
+}
+
+func (a *undoArena) allocIn(n int) []inUndo {
+	if len(a.in)+n > cap(a.in) {
+		c := 8 * n
+		if c < entryChunkMin {
+			c = entryChunkMin
+		}
+		a.in = make([]inUndo, 0, c)
+	}
+	i := len(a.in)
+	a.in = a.in[:i+n]
+	return a.in[i : i : i+n]
+}
+
+// rankIndex returns the prefix-degree array for EdgeAt on a slacked live
+// layout, building it on first use. Each ApplyDelta returns a fresh head with
+// cum == nil, so the index can never go stale. The backing array is owned by
+// the scratch and recomputed per head — only the live head may use it
+// (frozen EdgeAt takes the segment-scan path), so reuse is safe.
+func (vi *versionInfo) rankIndex(g *CSR) []uint64 {
+	if vi.cum == nil {
+		buf := vi.scratch.cumBuf
+		if cap(buf) < g.n+1 {
+			buf = make([]uint64, g.n+1)
+			vi.scratch.cumBuf = buf
+		}
+		cum := buf[:g.n+1]
+		cum[0] = 0
+		for v := 0; v < g.n; v++ {
+			cum[v+1] = cum[v] + uint64(g.outLen[v])
+		}
+		vi.cum = cum
+	}
+	return vi.cum
+}
+
+// ApplyDelta produces the next graph version G+Δ like Apply, but touches only
+// the adjacencies of vertices the batch mutates: updates are merged into each
+// affected vertex's segment within its slack gap, and outWeightSum, the edge
+// count, and the symmetry count are maintained incrementally. Cost is
+// O(Σ deg(affected) + |Δ| log |Δ|) per batch instead of O(V+E).
+//
+// The versioned pointer-swap contract is preserved: the receiver continues to
+// serve its exact pre-batch edge set (the recovery engine reads the old and
+// new versions simultaneously during a batch). Physically the edge arrays are
+// shared along the version chain and the receiver keeps snapshots of the
+// segments the mutation overwrote, so reads on superseded versions cost one
+// map probe per touched vertex. ApplyDelta must not race with readers of any
+// version in the chain; the single-threaded host mutation path is the
+// intended writer, and engine phases only run between mutations.
+//
+// ApplyDelta falls back to a full compacting rebuild — restoring fresh slack
+// everywhere — when the batch cannot be absorbed in place: a vertex's slack
+// is exhausted, the receiver is a dense build, or accumulated edits exceed
+// the configured amortization threshold. Validation errors match Apply's.
+func (g *CSR) ApplyDelta(b Batch) (*CSR, error) {
+	cfg := DefaultDeltaConfig()
+	if g.ver != nil {
+		cfg = g.ver.cfg
+	}
+	return g.ApplyDeltaCfg(b, cfg)
+}
+
+// ApplyDeltaCfg is ApplyDelta with an explicit tuning; tests use tiny slack
+// values to force the exhaustion and compaction paths.
+func (g *CSR) ApplyDeltaCfg(b Batch, cfg DeltaConfig) (*CSR, error) {
+	if g.ver != nil && g.ver.frozen {
+		// A superseded version must not mutate the shared arrays again;
+		// divergent histories (speculative replays, tests) rebuild.
+		if err := g.checkBatch(b, nil); err != nil {
+			return nil, err
+		}
+		return g.rebuildSlacked(b, cfg, nil)
+	}
+	var sc *deltaScratch
+	edits := 0
+	if g.ver != nil {
+		sc = g.ver.scratch
+		edits = g.ver.edits
+	}
+	if sc == nil {
+		sc = &deltaScratch{}
+	}
+	if err := g.checkBatch(b, sc); err != nil {
+		return nil, err
+	}
+	if g.outLen == nil || edits+b.Size() > compactThreshold(cfg, g.m) {
+		return g.rebuildSlacked(b, cfg, sc)
+	}
+	sc.load(b)
+	if !g.fitsInSlack(sc) {
+		return g.rebuildSlacked(b, cfg, sc)
+	}
+	return g.applyInPlace(cfg, sc, edits+b.Size()), nil
+}
+
+// compactThreshold returns the edit budget before a compacting rebuild; the
+// SlackMin floor keeps tiny graphs from rebuilding on every batch.
+func compactThreshold(cfg DeltaConfig, m int) int {
+	t := int(cfg.CompactFrac * float64(m))
+	if t < cfg.SlackMin {
+		t = cfg.SlackMin
+	}
+	return t
+}
+
+// checkBatch validates b against g with the same rules and messages as Apply.
+// With a scratch it reuses the set maps across batches (cleared, not
+// reallocated); a nil scratch means a fallback path where allocation is moot.
+func (g *CSR) checkBatch(b Batch, sc *deltaScratch) error {
+	var del, seen map[edgeKey]bool
+	if sc != nil {
+		if sc.del == nil {
+			sc.del = make(map[edgeKey]bool, len(b.Deletes))
+			sc.seen = make(map[edgeKey]bool, len(b.Inserts))
+		}
+		clear(sc.del)
+		clear(sc.seen)
+		del, seen = sc.del, sc.seen
+	} else {
+		del = make(map[edgeKey]bool, len(b.Deletes))
+		seen = make(map[edgeKey]bool, len(b.Inserts))
+	}
+	for _, e := range b.Deletes {
+		k := edgeKey{e.Src, e.Dst}
+		if del[k] {
+			return fmt.Errorf("graph: duplicate delete of (%d,%d)", e.Src, e.Dst)
+		}
+		if _, ok := g.HasEdge(e.Src, e.Dst); !ok {
+			return fmt.Errorf("graph: delete of missing edge (%d,%d)", e.Src, e.Dst)
+		}
+		del[k] = true
+	}
+	for _, e := range b.Inserts {
+		if int(e.Src) >= g.n || int(e.Dst) >= g.n {
+			return fmt.Errorf("graph: insert (%d,%d) out of range", e.Src, e.Dst)
+		}
+		k := edgeKey{e.Src, e.Dst}
+		if seen[k] {
+			return fmt.Errorf("graph: duplicate insert of (%d,%d)", e.Src, e.Dst)
+		}
+		seen[k] = true
+		if _, ok := g.HasEdge(e.Src, e.Dst); ok && !del[k] {
+			return fmt.Errorf("graph: insert of existing edge (%d,%d)", e.Src, e.Dst)
+		}
+	}
+	return nil
+}
+
+// load sorts the batch into the scratch buffers: bySrc ordered by
+// (src, dst, delete-first) for the out direction, byDst by
+// (dst, src, delete-first) for the in direction. Delete-before-insert on the
+// same edge makes a weight-change pair merge as remove-then-add.
+func (sc *deltaScratch) load(b Batch) {
+	sc.bySrc = sc.bySrc[:0]
+	for _, e := range b.Deletes {
+		sc.bySrc = append(sc.bySrc, edgeOp{e, true})
+	}
+	for _, e := range b.Inserts {
+		sc.bySrc = append(sc.bySrc, edgeOp{e, false})
+	}
+	sc.byDst = append(sc.byDst[:0], sc.bySrc...)
+	// slices.SortFunc, not sort.Slice: the reflect-based swapper allocates on
+	// every call, and load runs once per batch on the hot path.
+	slices.SortFunc(sc.bySrc, func(x, y edgeOp) int {
+		if c := cmpID(x.e.Src, y.e.Src); c != 0 {
+			return c
+		}
+		if c := cmpID(x.e.Dst, y.e.Dst); c != 0 {
+			return c
+		}
+		return cmpDel(x.del, y.del)
+	})
+	slices.SortFunc(sc.byDst, func(x, y edgeOp) int {
+		if c := cmpID(x.e.Dst, y.e.Dst); c != 0 {
+			return c
+		}
+		if c := cmpID(x.e.Src, y.e.Src); c != 0 {
+			return c
+		}
+		return cmpDel(x.del, y.del)
+	})
+}
+
+func cmpID(a, b VertexID) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// cmpDel orders deletes before inserts on an (src,dst) tie.
+func cmpDel(x, y bool) int {
+	switch {
+	case x && !y:
+		return -1
+	case !x && y:
+		return 1
+	}
+	return 0
+}
+
+// fitsInSlack checks, per affected vertex and direction, that the post-batch
+// degree fits the vertex's segment capacity. The batch is already validated,
+// so every delete removes exactly one slot and every insert adds exactly one.
+func (g *CSR) fitsInSlack(sc *deltaScratch) bool {
+	ok := true
+	groupBy(sc.bySrc, srcOf, func(v VertexID, ops []edgeOp) {
+		if int(g.outLen[v])+netGrowth(ops) > int(g.outPtr[v+1]-g.outPtr[v]) {
+			ok = false
+		}
+	})
+	if !ok {
+		return false
+	}
+	groupBy(sc.byDst, dstOf, func(v VertexID, ops []edgeOp) {
+		if int(g.inLen[v])+netGrowth(ops) > int(g.inPtr[v+1]-g.inPtr[v]) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+func netGrowth(ops []edgeOp) int {
+	net := 0
+	for _, op := range ops {
+		if op.del {
+			net--
+		} else {
+			net++
+		}
+	}
+	return net
+}
+
+func srcOf(op edgeOp) VertexID { return op.e.Src }
+func dstOf(op edgeOp) VertexID { return op.e.Dst }
+
+// countGroups returns the number of distinct keys in a sorted op slice.
+func countGroups(ops []edgeOp, keyOf func(edgeOp) VertexID) int {
+	n := 0
+	for i := 0; i < len(ops); i++ {
+		if i == 0 || keyOf(ops[i]) != keyOf(ops[i-1]) {
+			n++
+		}
+	}
+	return n
+}
+
+// groupBy walks a sorted op slice and calls fn once per distinct key with the
+// contiguous group.
+func groupBy(ops []edgeOp, keyOf func(edgeOp) VertexID, fn func(VertexID, []edgeOp)) {
+	for i := 0; i < len(ops); {
+		j := i + 1
+		for j < len(ops) && keyOf(ops[j]) == keyOf(ops[i]) {
+			j++
+		}
+		fn(keyOf(ops[i]), ops[i:j])
+		i = j
+	}
+}
+
+// applyInPlace mutates the shared edge arrays to the post-batch state and
+// returns the new head version. The receiver is frozen with undo snapshots of
+// every overwritten segment. The batch has been validated and capacity-checked.
+func (g *CSR) applyInPlace(cfg DeltaConfig, sc *deltaScratch, edits int) *CSR {
+	// Undo snapshots and entry lists come from the scratch arenas: the lists
+	// stay contiguous (sized by a group-count pre-pass) so frozen reads can
+	// binary-search them, and chunk allocations amortize across batches.
+	undoOut := sc.entries.allocOut(countGroups(sc.bySrc, srcOf))
+	undoIn := sc.entries.allocIn(countGroups(sc.byDst, dstOf))
+
+	// Reserve the batch's total snapshot footprint up front so the per-vertex
+	// arena allocations below never split a batch across chunk switches.
+	slabN := 0
+	groupBy(sc.bySrc, srcOf, func(v VertexID, _ []edgeOp) { slabN += int(g.outLen[v]) })
+	groupBy(sc.byDst, dstOf, func(v VertexID, _ []edgeOp) { slabN += int(g.inLen[v]) })
+	sc.slab.reserve(slabN)
+
+	mDelta := 0
+	// Out direction: snapshot each affected vertex's segment, merge it with
+	// its sorted updates into scratch, copy back within the segment.
+	groupBy(sc.bySrc, srcOf, func(v VertexID, ops []edgeOp) {
+		lo := g.outPtr[v]
+		n := uint64(g.outLen[v])
+		ids, ws := g.outDst[lo:lo+n], g.outW[lo:lo+n]
+
+		snapIDs, snapWs := sc.slab.alloc(int(n))
+		copy(snapIDs, ids)
+		copy(snapWs, ws)
+		undoOut = append(undoOut, outUndo{v: v, dst: snapIDs, w: snapWs, wsum: g.outWeightSum[v]})
+
+		newIDs, newWs, _ := mergeSeg(sc, ids, ws, ops, outNeighbor)
+		mDelta += len(newIDs) - int(n)
+		copy(g.outDst[lo:], newIDs)
+		copy(g.outW[lo:], newWs)
+		g.outLen[v] = uint32(len(newIDs))
+		// Recompute the sum left-to-right over the merged segment rather than
+		// adding the batch's weight delta: float addition is order-dependent,
+		// and summing in segment order is exactly what a full rebuild does, so
+		// the two mutation paths stay bitwise identical (adsorption divides by
+		// this sum — an ulp here becomes visible state divergence).
+		var sum float64
+		for _, w := range newWs {
+			sum += w
+		}
+		g.outWeightSum[v] = sum
+	})
+	// In direction.
+	groupBy(sc.byDst, dstOf, func(v VertexID, ops []edgeOp) {
+		lo := g.inPtr[v]
+		n := uint64(g.inLen[v])
+		ids, ws := g.inSrc[lo:lo+n], g.inW[lo:lo+n]
+
+		snapIDs, snapWs := sc.slab.alloc(int(n))
+		copy(snapIDs, ids)
+		copy(snapWs, ws)
+		undoIn = append(undoIn, inUndo{v: v, src: snapIDs, w: snapWs})
+
+		newIDs, newWs, _ := mergeSeg(sc, ids, ws, ops, inNeighbor)
+		copy(g.inSrc[lo:], newIDs)
+		copy(g.inW[lo:], newWs)
+		g.inLen[v] = uint32(len(newIDs))
+	})
+
+	// One allocation for the new head: its CSR and versionInfo together.
+	head := &csrWithVer{}
+	ng := &head.csr
+	*ng = CSR{
+		n: g.n, m: g.m + mDelta,
+		outPtr: g.outPtr, outLen: g.outLen, outDst: g.outDst, outW: g.outW,
+		inPtr: g.inPtr, inLen: g.inLen, inSrc: g.inSrc, inW: g.inW,
+		outWeightSum: g.outWeightSum,
+		asymCount:    g.asymCount,
+		ver:          &head.vi,
+	}
+	head.vi = versionInfo{cfg: cfg, edits: edits, scratch: sc}
+
+	// Freeze the receiver in place — its existing versionInfo becomes the
+	// frozen record, so pre-batch reads below go through the undo snapshots
+	// while post-batch reads hit the mutated arrays. The scratch and rank
+	// index move on with the live head; a frozen version never touches them.
+	vi := g.ver
+	vi.frozen = true
+	vi.undoOut = undoOut
+	vi.undoIn = undoIn
+	vi.next = ng
+	vi.edits = 0
+	vi.scratch = nil
+	vi.cum = nil
+
+	// Symmetry maintenance: only vertices whose adjacency changed can change
+	// their asymmetric status; diff each one's pre/post status. The affected
+	// set is the sorted union of the two undo lists' vertices.
+	sc.affected = sc.affected[:0]
+	for i, j := 0, 0; i < len(undoOut) || j < len(undoIn); {
+		switch {
+		case j >= len(undoIn) || (i < len(undoOut) && undoOut[i].v < undoIn[j].v):
+			sc.affected = append(sc.affected, undoOut[i].v)
+			i++
+		case i >= len(undoOut) || undoIn[j].v < undoOut[i].v:
+			sc.affected = append(sc.affected, undoIn[j].v)
+			j++
+		default: // equal
+			sc.affected = append(sc.affected, undoOut[i].v)
+			i++
+			j++
+		}
+	}
+	for _, v := range sc.affected {
+		preOut, _ := g.outSeg(v)
+		preIn, _ := g.inSeg(v)
+		postOut, _ := ng.outSeg(v)
+		postIn, _ := ng.inSeg(v)
+		pre := !segIDsEqual(preOut, preIn)
+		post := !segIDsEqual(postOut, postIn)
+		if pre != post {
+			if post {
+				ng.asymCount++
+			} else {
+				ng.asymCount--
+			}
+		}
+	}
+	return ng
+}
+
+// outNeighbor and inNeighbor project an op onto the neighbor id for one merge
+// direction.
+func outNeighbor(op edgeOp) VertexID { return op.e.Dst }
+func inNeighbor(op edgeOp) VertexID  { return op.e.Src }
+
+// mergeSeg merges one sorted adjacency segment with its sorted batch ops into
+// sc's reusable buffers, returning the merged ids/weights and the weight
+// delta. Validation guarantees every delete matches an existing id and no
+// insert duplicates a surviving id, so the merge is a plain two-pointer pass.
+func mergeSeg(sc *deltaScratch, ids []VertexID, ws []Weight, ops []edgeOp, idOf func(edgeOp) VertexID) ([]VertexID, []Weight, float64) {
+	sc.ids = sc.ids[:0]
+	sc.ws = sc.ws[:0]
+	var wDelta float64
+	i, j := 0, 0
+	for i < len(ids) || j < len(ops) {
+		if j >= len(ops) {
+			sc.ids = append(sc.ids, ids[i])
+			sc.ws = append(sc.ws, ws[i])
+			i++
+			continue
+		}
+		id := idOf(ops[j])
+		if i < len(ids) && ids[i] < id {
+			sc.ids = append(sc.ids, ids[i])
+			sc.ws = append(sc.ws, ws[i])
+			i++
+			continue
+		}
+		if ops[j].del {
+			// Validated: the deleted id is present, so ids[i] == id here.
+			wDelta -= ws[i]
+			i++
+			j++
+			continue
+		}
+		sc.ids = append(sc.ids, id)
+		sc.ws = append(sc.ws, ops[j].e.Weight)
+		wDelta += ops[j].e.Weight
+		j++
+	}
+	return sc.ids, sc.ws, wDelta
+}
+
+// rebuildSlacked is the compacting fallback: apply the batch logically, then
+// lay the result out with fresh slack per vertex. The receiver is untouched
+// (it keeps serving its pre-batch edge set without any undo machinery).
+func (g *CSR) rebuildSlacked(b Batch, cfg DeltaConfig, sc *deltaScratch) (*CSR, error) {
+	dense, err := g.Apply(b)
+	if err != nil {
+		return nil, err
+	}
+	return slackify(dense, cfg, sc), nil
+}
+
+// slackify re-lays a dense CSR with per-vertex slack gaps, returning a live
+// head version with zero accumulated edits. The dense input's weight-sum and
+// symmetry aggregates carry over; its edge arrays are not retained.
+func slackify(dense *CSR, cfg DeltaConfig, sc *deltaScratch) *CSR {
+	n := dense.n
+	gap := func(deg int) int {
+		s := int(float64(deg) * cfg.SlackFrac)
+		if s < cfg.SlackMin {
+			s = cfg.SlackMin
+		}
+		return s
+	}
+	g := &CSR{
+		n: n, m: dense.m,
+		outPtr:       make([]uint64, n+1),
+		outLen:       make([]uint32, n),
+		inPtr:        make([]uint64, n+1),
+		inLen:        make([]uint32, n),
+		outWeightSum: dense.outWeightSum,
+		asymCount:    dense.asymCount,
+	}
+	for v := 0; v < n; v++ {
+		od := int(dense.outPtr[v+1] - dense.outPtr[v])
+		id := int(dense.inPtr[v+1] - dense.inPtr[v])
+		g.outPtr[v+1] = g.outPtr[v] + uint64(od+gap(od))
+		g.inPtr[v+1] = g.inPtr[v] + uint64(id+gap(id))
+		g.outLen[v] = uint32(od)
+		g.inLen[v] = uint32(id)
+	}
+	g.outDst = make([]VertexID, g.outPtr[n])
+	g.outW = make([]Weight, g.outPtr[n])
+	g.inSrc = make([]VertexID, g.inPtr[n])
+	g.inW = make([]Weight, g.inPtr[n])
+	for v := 0; v < n; v++ {
+		copy(g.outDst[g.outPtr[v]:], dense.outDst[dense.outPtr[v]:dense.outPtr[v+1]])
+		copy(g.outW[g.outPtr[v]:], dense.outW[dense.outPtr[v]:dense.outPtr[v+1]])
+		copy(g.inSrc[g.inPtr[v]:], dense.inSrc[dense.inPtr[v]:dense.inPtr[v+1]])
+		copy(g.inW[g.inPtr[v]:], dense.inW[dense.inPtr[v]:dense.inPtr[v+1]])
+	}
+	if sc == nil {
+		sc = &deltaScratch{}
+	}
+	g.ver = &versionInfo{cfg: cfg, scratch: sc}
+	return g
+}

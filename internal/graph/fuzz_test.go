@@ -26,6 +26,70 @@ func FuzzReadEdgeList(f *testing.F) {
 	})
 }
 
+// FuzzApplyDelta is the differential fuzz target for the two mutation paths:
+// any batch must either be rejected identically by ApplyDelta and Apply, or
+// produce identical logical graphs through both — across a seed-derived
+// sequence of batches so the in-place, slack-exhaustion, and compaction
+// paths all get hit (the slack config is derived from the inputs too).
+func FuzzApplyDelta(f *testing.F) {
+	f.Add(uint16(0), uint16(5), 1.5, uint16(2), uint16(3), uint8(0))
+	f.Add(uint16(1), uint16(2), 2.0, uint16(1), uint16(2), uint8(1)) // weight change pair
+	f.Add(uint16(9), uint16(9), -1.0, uint16(0), uint16(0), uint8(7))
+	f.Fuzz(func(t *testing.T, iu, iv uint16, w float64, du, dv uint16, slack uint8) {
+		cfg := DeltaConfig{
+			SlackMin:    int(slack % 8),
+			SlackFrac:   float64(slack%4) * 0.25,
+			CompactFrac: float64(slack%16) * 0.05,
+		}
+		dg := MustBuild(16, []Edge{
+			{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 2},
+			{Src: 2, Dst: 3, Weight: 3}, {Src: 3, Dst: 0, Weight: 4},
+			{Src: 0, Dst: 5, Weight: 5}, {Src: 5, Dst: 0, Weight: 6},
+		})
+		rg := dg
+		// Three derived batches: the fuzzed one, then permutations that hit a
+		// now-slacked graph so in-place application actually runs.
+		batches := []Batch{
+			{
+				Inserts: []Edge{{Src: VertexID(iu), Dst: VertexID(iv), Weight: w}},
+				Deletes: []Edge{{Src: VertexID(du), Dst: VertexID(dv), Weight: 0}},
+			},
+			{
+				Inserts: []Edge{{Src: VertexID(iv % 16), Dst: VertexID(du % 16), Weight: 2}},
+			},
+			{
+				Deletes: []Edge{{Src: VertexID(iu), Dst: VertexID(iv), Weight: 0}},
+			},
+		}
+		for step, b := range batches {
+			nd, errD := dg.ApplyDeltaCfg(b, cfg)
+			nr, errA := rg.Apply(b)
+			if (errD == nil) != (errA == nil) {
+				t.Fatalf("step %d: acceptance diverges: delta=%v apply=%v\nbatch: %+v", step, errD, errA, b)
+			}
+			if errD != nil {
+				if errD.Error() != errA.Error() {
+					t.Fatalf("step %d: rejection messages diverge:\n  delta: %v\n  apply: %v", step, errD, errA)
+				}
+				continue
+			}
+			if err := nd.Validate(); err != nil {
+				t.Fatalf("step %d: delta result invalid: %v\nbatch: %+v", step, err, b)
+			}
+			de, re := nd.Edges(), nr.Edges()
+			if len(de) != len(re) {
+				t.Fatalf("step %d: edge counts diverge: %d vs %d", step, len(de), len(re))
+			}
+			for i := range de {
+				if de[i] != re[i] {
+					t.Fatalf("step %d: edge %d diverges: %+v vs %+v", step, i, de[i], re[i])
+				}
+			}
+			dg, rg = nd, nr
+		}
+	})
+}
+
 // FuzzApplyBatch hardens version construction: arbitrary batches against a
 // fixed graph must either apply into a valid CSR or be rejected.
 func FuzzApplyBatch(f *testing.F) {

@@ -348,11 +348,11 @@ func (s *Session) Stream(b graph.Batch) (Result, error) {
 	}
 
 	// Commit: version store first, then the device. Both consume the same
-	// sanitized batch the transfer was sized for.
-	v, _, err := s.store.Append(clean)
-	if err != nil {
-		return Result{}, err
-	}
+	// sanitized batch the transfer was sized for. The store records the delta
+	// lazily — the device applies it incrementally below, so materializing a
+	// second full CSR per batch on the host would undo the incremental win;
+	// historical versions rebuild on demand from the recorded deltas.
+	v := s.store.AppendLazy(clean)
 	p0 := s.st.EventsProcessed
 	if err := s.js.ApplyBatch(clean); err != nil {
 		return Result{}, err

@@ -41,6 +41,12 @@ var DeterministicPackages = []string{
 	"internal/noc",
 	"internal/queue",
 	"internal/event",
+	// The graph substrate feeds the simulated timeline directly: the delta
+	// mutation layer decides rebuild-vs-in-place per batch and EdgeAt drives
+	// the deterministic stream generator, so any wall-clock or global-rand
+	// dependence here would desynchronize golden traces just like an engine
+	// path would. Generators must use explicitly seeded *rand.Rand.
+	"internal/graph",
 }
 
 var bannedTimeFuncs = map[string]bool{

@@ -20,6 +20,7 @@ var fixtureCases = []struct {
 }{
 	{"atomicmix", "jetstream/fix/atomicmix", Atomicmix},
 	{"determinism", "jetstream/internal/engine", Determinism},
+	{"determinism_graph", "jetstream/internal/graph", Determinism},
 	{"panicfree", "jetstream", Panicfree},
 	{"errwrap", "jetstream", Errwrap},
 }

@@ -1,0 +1,42 @@
+// Fixture for the determinism analyzer over the graph substrate, loaded
+// under the import path jetstream/internal/graph — the package that owns the
+// delta mutation layer. The batch-apply path decides rebuild-vs-in-place and
+// feeds EdgeAt sampling, so it must stay wall-clock and global-rand free.
+package graph
+
+import (
+	"math/rand"
+	"time"
+)
+
+type batch struct{ size int }
+
+// StampedApply is the classic mistake: timestamping a mutation makes the
+// version chain depend on the wall clock.
+func StampedApply(b batch) int64 {
+	return time.Now().UnixNano() // want "time.Now is wall-clock-dependent"
+}
+
+// JitteredSlack randomizes per-vertex slack from the global generator, which
+// would make the compaction schedule differ between identical runs.
+func JitteredSlack(deg int) int {
+	return deg + rand.Intn(4) // want "rand.Intn draws from the unseeded global generator"
+}
+
+// AmortizeByTime rebuilds on a wall-clock cadence instead of an edit count.
+func AmortizeByTime(last time.Time) bool {
+	return time.Since(last) > time.Second // want "time.Since is wall-clock-dependent"
+}
+
+// SeededGenerator is the allowed pattern: synthetic-workload generators build
+// their own explicitly seeded source.
+func SeededGenerator(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// InjectedSampler consumes a caller-seeded generator (the stream generator's
+// EdgeAt sampling path).
+func InjectedSampler(rng *rand.Rand, edges int) int {
+	return rng.Intn(edges)
+}

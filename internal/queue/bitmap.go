@@ -1,0 +1,96 @@
+package queue
+
+import "math/bits"
+
+// occupancy tracks which vertex slots hold a live event, word-packed so the
+// drain loops skip empty regions instead of scanning every slot. A
+// second-level bitmap over rows plus per-row live counts lets DrainRound jump
+// straight between non-empty rows and, within a row, straight between set
+// bits with TrailingZeros64 — draining k live events costs O(k) plus the
+// handful of occupancy words covering them, not O(V). This is what makes
+// sparse recovery phases (a few live events in a million-slot queue) cheap.
+type occupancy struct {
+	rowSize int
+	words   []uint64 // bit per slot
+	rowOcc  []uint64 // bit per row holding ≥1 live slot
+	rowLive []int32  // live slots per row
+	count   int
+}
+
+func newOccupancy(n, rowSize int) *occupancy {
+	rows := (n + rowSize - 1) / rowSize
+	return &occupancy{
+		rowSize: rowSize,
+		words:   make([]uint64, (n+63)/64),
+		rowOcc:  make([]uint64, (rows+63)/64),
+		rowLive: make([]int32, rows),
+	}
+}
+
+// set marks slot i live and reports whether it was previously empty; a false
+// return is the coalescing case (slot already held an event).
+func (o *occupancy) set(i int) bool {
+	w, b := i>>6, uint64(1)<<(uint(i)&63)
+	if o.words[w]&b != 0 {
+		return false
+	}
+	o.words[w] |= b
+	o.count++
+	row := i / o.rowSize
+	if o.rowLive[row] == 0 {
+		o.rowOcc[row>>6] |= 1 << (uint(row) & 63)
+	}
+	o.rowLive[row]++
+	return true
+}
+
+// nextRow returns the lowest row index ≥ from with live slots, or -1 when
+// every remaining row is empty.
+func (o *occupancy) nextRow(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	for w := from >> 6; w < len(o.rowOcc); w++ {
+		word := o.rowOcc[w]
+		if w == from>>6 {
+			word &= ^uint64(0) << (uint(from) & 63)
+		}
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+	}
+	return -1
+}
+
+// drainRow calls fn for every live slot in row in ascending order, clearing
+// them as it goes.
+func (o *occupancy) drainRow(row int, fn func(slot int)) {
+	lo := row * o.rowSize
+	hi := lo + o.rowSize
+	drained := 0
+	for w := lo >> 6; w < len(o.words) && w<<6 < hi; w++ {
+		word := o.words[w]
+		if word == 0 {
+			continue
+		}
+		base := w << 6
+		if base < lo {
+			word &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if hi-base < 64 {
+			word &= 1<<uint(hi-base) - 1
+		}
+		o.words[w] &^= word
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			fn(base + b)
+			drained++
+		}
+	}
+	o.count -= drained
+	o.rowLive[row] -= int32(drained)
+	if o.rowLive[row] == 0 {
+		o.rowOcc[row>>6] &^= 1 << (uint(row) & 63)
+	}
+}

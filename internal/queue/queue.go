@@ -49,8 +49,7 @@ type Coalescing struct {
 	st       *stats.Counters
 
 	slots []event.Event
-	valid []bool
-	count int
+	occ   *occupancy
 
 	coalescingOn bool
 	overflow     []event.Event // non-coalescing mode: extra events, FIFO
@@ -72,8 +71,12 @@ func (q *Coalescing) SetObs(live *obs.Gauge, high *obs.Max) {
 }
 
 func (q *Coalescing) publishObs() {
+	// Each sink is optional on its own: SetObs(live, nil) and SetObs(nil,
+	// high) are both valid attachments.
 	if q.obLive != nil {
 		q.obLive.Set(int64(q.Len()))
+	}
+	if q.obHigh != nil {
 		q.obHigh.Observe(uint64(q.highWater))
 	}
 }
@@ -91,7 +94,7 @@ func New(n int, cfg Config, fn Coalesce, st *stats.Counters) *Coalescing {
 		coalesce:     fn,
 		st:           st,
 		slots:        make([]event.Event, n),
-		valid:        make([]bool, n),
+		occ:          newOccupancy(n, cfg.RowSize),
 		coalescingOn: true,
 	}
 }
@@ -111,28 +114,26 @@ func (q *Coalescing) Insert(e event.Event) {
 	if int(t) >= len(q.slots) {
 		panic(fmt.Sprintf("queue: target %d out of range (%d slots)", t, len(q.slots)))
 	}
-	if q.valid[t] {
+	if !q.occ.set(int(t)) {
 		if q.coalescingOn {
 			q.slots[t] = q.coalesce(q.slots[t], e)
 			q.st.EventsCoalesced++
 			return
 		}
 		q.overflow = append(q.overflow, e)
-		if live := q.count + len(q.overflow); live > q.highWater {
+		if live := q.Len(); live > q.highWater {
 			q.highWater = live
 		}
 		return
 	}
-	q.valid[t] = true
 	q.slots[t] = e
-	q.count++
-	if live := q.count + len(q.overflow); live > q.highWater {
+	if live := q.Len(); live > q.highWater {
 		q.highWater = live
 	}
 }
 
 // Len returns the number of live events (slots + overflow).
-func (q *Coalescing) Len() int { return q.count + len(q.overflow) }
+func (q *Coalescing) Len() int { return q.occ.count + len(q.overflow) }
 
 // Empty reports whether no events are pending.
 func (q *Coalescing) Empty() bool { return q.Len() == 0 }
@@ -156,23 +157,21 @@ func (q *Coalescing) Rows() int {
 // round or in the next round, reproducing the asynchronous round-robin bin
 // draining of the hardware. After the rows, the overflow buffer (if any) is
 // drained FIFO in RowSize batches. Returns the number of events emitted.
+//
+// The row walk is sparse: the occupancy bitmap jumps straight to the next
+// non-empty row (and, inside a row, to the next set bit), so a round over a
+// handful of live events does not scan the whole vertex space. The row
+// cursor only moves forward, which preserves the dense-scan ordering
+// contract above — a same-row or earlier-row reinsertion waits for the next
+// round even if its row still has the occupancy bit set.
 func (q *Coalescing) DrainRound(fn func(batch []event.Event)) int {
 	emitted := 0
 	batch := make([]event.Event, 0, q.cfg.RowSize)
-	for row := 0; row < q.Rows(); row++ {
-		lo := row * q.cfg.RowSize
-		hi := lo + q.cfg.RowSize
-		if hi > len(q.slots) {
-			hi = len(q.slots)
-		}
+	for row := q.occ.nextRow(0); row >= 0; row = q.occ.nextRow(row + 1) {
 		batch = batch[:0]
-		for v := lo; v < hi; v++ {
-			if q.valid[v] {
-				batch = append(batch, q.slots[v])
-				q.valid[v] = false
-				q.count--
-			}
-		}
+		q.occ.drainRow(row, func(slot int) {
+			batch = append(batch, q.slots[slot])
+		})
 		if len(batch) > 0 {
 			emitted += len(batch)
 			fn(batch)
@@ -201,12 +200,10 @@ func (q *Coalescing) DrainRound(fn func(batch []event.Event)) int {
 // shards before the workers start.
 func (q *Coalescing) TakeAll() []event.Event {
 	out := make([]event.Event, 0, q.Len())
-	for v := range q.slots {
-		if q.valid[v] {
-			out = append(out, q.slots[v])
-			q.valid[v] = false
-			q.count--
-		}
+	for row := q.occ.nextRow(0); row >= 0; row = q.occ.nextRow(row + 1) {
+		q.occ.drainRow(row, func(slot int) {
+			out = append(out, q.slots[slot])
+		})
 	}
 	out = append(out, q.overflow...)
 	q.overflow = nil

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"jetstream/internal/event"
+	"jetstream/internal/obs"
 	"jetstream/internal/stats"
 )
 
@@ -231,6 +232,96 @@ func TestQuickOneLiveEventPerVertex(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSetObsPartialSinks is the regression test for the publishObs nil deref:
+// attaching only one of the two occupancy mirrors used to panic on the drain
+// round because the guard for the live gauge also gated the high-water sink.
+func TestSetObsPartialSinks(t *testing.T) {
+	cases := []struct {
+		name string
+		live *obs.Gauge
+		high *obs.Max
+	}{
+		{"high_only", nil, &obs.Max{}},
+		{"live_only", &obs.Gauge{}, nil},
+		{"both", &obs.Gauge{}, &obs.Max{}},
+		{"neither", nil, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := New(100, Config{RowSize: 10}, minCoalesce(), nil)
+			q.Insert(event.New(7, 1))
+			q.Insert(event.New(42, 2))
+			q.SetObs(tc.live, tc.high)
+			q.DrainRound(func([]event.Event) {}) // must not panic
+			if tc.live != nil && tc.live.Load() != 0 {
+				t.Errorf("live gauge = %d after full drain, want 0", tc.live.Load())
+			}
+			if tc.high != nil && tc.high.Load() != 2 {
+				t.Errorf("high-water mirror = %d, want 2", tc.high.Load())
+			}
+		})
+	}
+}
+
+// TestSparseDrainSkipsEmptyRows checks that a drain over a huge, almost-empty
+// queue visits only the occupied rows: the callback count equals the number
+// of distinct occupied rows, independent of the vertex-space size.
+func TestSparseDrainSkipsEmptyRows(t *testing.T) {
+	const n = 1 << 20
+	q := New(n, Config{RowSize: 64}, minCoalesce(), nil)
+	targets := []uint32{0, 63, 64, 500_000, n - 1} // rows 0, 0, 1, 7812, 16383
+	for _, v := range targets {
+		q.Insert(event.New(v, float64(v)))
+	}
+	batches := 0
+	var got []uint32
+	q.DrainRound(func(b []event.Event) {
+		batches++
+		for _, e := range b {
+			got = append(got, e.Target)
+		}
+	})
+	if batches != 4 {
+		t.Errorf("callback ran %d times, want 4 (one per occupied row)", batches)
+	}
+	if len(got) != len(targets) {
+		t.Fatalf("drained %d events, want %d", len(got), len(targets))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Errorf("drain order not ascending: %d then %d", got[i-1], got[i])
+		}
+	}
+	if !q.Empty() {
+		t.Error("queue not empty after drain")
+	}
+}
+
+// TestSparseDrainPartialWords exercises occupancy words that straddle row
+// boundaries (RowSize not a multiple of 64), where drainRow must mask both
+// ends of a word.
+func TestSparseDrainPartialWords(t *testing.T) {
+	q := New(1000, Config{RowSize: 100}, sumCoalesce(), nil)
+	ins := []uint32{0, 99, 100, 101, 163, 164, 199, 200, 999}
+	for _, v := range ins {
+		q.Insert(event.New(v, 1))
+	}
+	var got []uint32
+	q.Drain(func(b []event.Event) {
+		for _, e := range b {
+			got = append(got, e.Target)
+		}
+	})
+	if len(got) != len(ins) {
+		t.Fatalf("drained %v, want all of %v", got, ins)
+	}
+	for i, v := range ins {
+		if got[i] != v {
+			t.Fatalf("drain[%d] = %d, want %d", i, got[i], v)
+		}
 	}
 }
 

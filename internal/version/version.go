@@ -78,6 +78,24 @@ func (s *Store) Append(b graph.Batch) (int, *graph.CSR, error) {
 	return v, next, nil
 }
 
+// AppendLazy records a batch as a new version without materializing its CSR:
+// an O(1) append for callers that already hold the materialized result (the
+// host session applies batches through the engine's incremental path and only
+// needs the store for history). The batch must apply cleanly on top of the
+// current latest version — AppendLazy does not validate; an invalid batch
+// surfaces later as a replay error from At/Replay. Returns the new version
+// number.
+//
+// The newest cached snapshot is left where it is, so a later At() replays the
+// lazily appended deltas from it with the rebuild path — never by mutating a
+// CSR a concurrent reader may hold.
+func (s *Store) AppendLazy(b graph.Batch) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deltas = append(s.deltas, b)
+	return len(s.deltas)
+}
+
 // At materializes version v (0 = base). Historical versions are rebuilt by
 // replaying deltas from the nearest retained snapshot.
 func (s *Store) At(v int) (*graph.CSR, error) {

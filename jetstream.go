@@ -166,6 +166,7 @@ type options struct {
 	ingest   IngestPolicy
 	watchdog WatchdogConfig
 	observer Observer
+	rebuild  bool
 }
 
 // WithOpt selects the deletion-recovery optimization (default OptDAP).
@@ -217,6 +218,16 @@ func WithAccelerator(cfg AcceleratorConfig) Option {
 // deletes of absent edges, inserts of present edges). The default is Strict.
 func WithIngest(p IngestPolicy) Option {
 	return func(op *options) { op.ingest = p }
+}
+
+// WithGraphRebuild applies every batch by rebuilding the full CSR (the
+// paper's simplest host model: write a new CSR, swap the pointer) instead of
+// the default incremental slack-based mutation that touches only the
+// adjacencies a batch changes. Query results are identical either way; the
+// switch exists to measure the host-side cost difference and as the
+// reference side of differential tests.
+func WithGraphRebuild() Option {
+	return func(op *options) { op.rebuild = true }
 }
 
 // WithWatchdog enables the divergence watchdog: every cfg.Every batches the
@@ -304,6 +315,7 @@ func New(g *Graph, a Algorithm, opts ...Option) (*System, error) {
 		cfg.Engine.EventMode, cfg.Engine.VertexBytes = mode, vb
 	}
 	cfg.Slices = op.slices
+	cfg.RebuildGraph = op.rebuild
 	cfg.Engine.Timing = op.timing
 	cfg.Engine.DetailedTiming = op.detailed
 	if op.parallel > 0 {
