@@ -27,18 +27,40 @@ import (
 var (
 	ckptMagic = [8]byte{'J', 'S', 'C', 'K', 'P', 'T', '0', '1'}
 
-	// ErrCorruptCheckpoint is wrapped by Restore errors caused by a damaged
-	// or truncated checkpoint (bad magic, short payload, checksum mismatch,
-	// or inconsistent contents).
+	// ErrCorruptCheckpoint is wrapped by every Restore error caused by a
+	// damaged or truncated checkpoint (bad magic, short payload, checksum
+	// mismatch, or inconsistent contents).
 	ErrCorruptCheckpoint = errors.New("jetstream: corrupt checkpoint")
+
+	// ErrTruncated additionally wraps the subset of corruption caused by
+	// missing bytes at the end of the input: a short header, a payload the
+	// reader ran out of, or a missing checksum — the shape a torn write or
+	// interrupted download leaves behind. Callers that maintain their own
+	// redundancy can match it to distinguish "fetch or replay more"
+	// (errors.Is(err, ErrTruncated)) from in-place damage, which only
+	// matches ErrCorruptCheckpoint and means the blob must be discarded.
+	ErrTruncated = errors.New("jetstream: truncated checkpoint")
 )
 
+// truncErr builds an error matching both ErrCorruptCheckpoint and
+// ErrTruncated, for damage that presents as missing tail bytes.
+func truncErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %w: "+format, append([]any{ErrCorruptCheckpoint, ErrTruncated}, args...)...)
+}
+
 // Version 2 added the Parallelism knob to the recorded configuration;
-// version 3 added the graph-rebuild ablation flag (WithGraphRebuild). The
-// graph itself is always serialized canonically via Edges(), so the slack
-// layout of an incrementally mutated CSR never leaks into the format: a
-// restored system re-slacks lazily on its first delta batch.
-const ckptVersion uint32 = 3
+// version 3 added the graph-rebuild ablation flag (WithGraphRebuild);
+// version 4 added the write-ahead-log binding (a presence flag and the log
+// position the snapshot covers), making a checkpoint the snapshot half of an
+// incremental (snapshot, log tail) pair — see RecoverFromDir. Restore reads
+// versions 2 through 4. The graph itself is always serialized canonically
+// via Edges(), so the slack layout of an incrementally mutated CSR never
+// leaks into the format: a restored system re-slacks lazily on its first
+// delta batch.
+const (
+	ckptVersion    uint32 = 4
+	ckptMinVersion uint32 = 2
+)
 
 var ckptCRC = crc64.MakeTable(crc64.ECMA)
 
@@ -183,15 +205,15 @@ func (s *System) Checkpoint(w io.Writer) error {
 		p.u64(*f)
 	}
 
-	// Graph version.
+	// Graph version, in the canonical edge encoding shared with the WAL.
 	g := s.js.Graph()
 	p.u64(uint64(g.NumVertices()))
 	edges := g.Edges()
 	p.u64(uint64(len(edges)))
+	var eb [graph.EdgeSize]byte
 	for _, e := range edges {
-		p.u32(e.Src)
-		p.u32(e.Dst)
-		p.f64(e.Weight)
+		graph.PutEdge(eb[:], e)
+		p.buf.Write(eb[:])
 	}
 
 	// Per-vertex engine state and dependency fields.
@@ -205,6 +227,12 @@ func (s *System) Checkpoint(w io.Writer) error {
 	for _, d := range dep {
 		p.u32(d)
 	}
+
+	// v4: the WAL binding — whether this System journals to a write-ahead
+	// log, and the log position (batch sequence number) the snapshot covers.
+	// Recovery replays only records past this position.
+	p.u8(boolByte(s.wal != nil))
+	p.u64(s.batches)
 
 	payload := p.buf.Bytes()
 	var hdr ckptWriter
@@ -236,13 +264,15 @@ func (s *System) Checkpoint(w io.Writer) error {
 func Restore(r io.Reader, opts ...Option) (*System, error) {
 	hdr := make([]byte, len(ckptMagic)+4+8)
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, fmt.Errorf("%w: short header: %v", ErrCorruptCheckpoint, err)
+		return nil, truncErr("short header: %v", err)
 	}
 	if !bytes.Equal(hdr[:len(ckptMagic)], ckptMagic[:]) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorruptCheckpoint)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[len(ckptMagic):]); v != ckptVersion {
-		return nil, fmt.Errorf("%w: unsupported format version %d", ErrCorruptCheckpoint, v)
+	version := binary.LittleEndian.Uint32(hdr[len(ckptMagic):])
+	if version < ckptMinVersion || version > ckptVersion {
+		return nil, fmt.Errorf("%w: unsupported format version %d (this build reads %d through %d)",
+			ErrCorruptCheckpoint, version, ckptMinVersion, ckptVersion)
 	}
 	plen := binary.LittleEndian.Uint64(hdr[len(ckptMagic)+4:])
 	const maxPayload = 1 << 40
@@ -251,11 +281,11 @@ func Restore(r io.Reader, opts ...Option) (*System, error) {
 	}
 	payload := make([]byte, plen)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("%w: short payload: %v", ErrCorruptCheckpoint, err)
+		return nil, truncErr("short payload: %v", err)
 	}
 	var tail [8]byte
 	if _, err := io.ReadFull(r, tail[:]); err != nil {
-		return nil, fmt.Errorf("%w: missing checksum: %v", ErrCorruptCheckpoint, err)
+		return nil, truncErr("missing checksum: %v", err)
 	}
 	if got, want := crc64.Checksum(payload, ckptCRC), binary.LittleEndian.Uint64(tail[:]); got != want {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptCheckpoint)
@@ -295,9 +325,12 @@ func Restore(r io.Reader, opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	rebuild, err := p.u8()
-	if err != nil {
-		return nil, err
+	// The graph-rebuild ablation flag exists from v3 on.
+	var rebuild uint8
+	if version >= 3 {
+		if rebuild, err = p.u8(); err != nil {
+			return nil, err
+		}
 	}
 	parallel, err := p.u32()
 	if err != nil {
@@ -356,20 +389,21 @@ func Restore(r io.Reader, opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nv > math.MaxInt32 || ne > uint64(len(p.b))/16 {
-		return nil, fmt.Errorf("%w: implausible graph dimensions (%d vertices, %d edges)", ErrCorruptCheckpoint, nv, ne)
+	// Both counts are bounded by the bytes actually present before anything
+	// is allocated: ne edges of EdgeSize each, then nv per-vertex states of
+	// 8 bytes each, must all fit in the remaining payload. An adversarial
+	// count can therefore never provoke a huge allocation.
+	if nv > math.MaxInt32 || ne > uint64(len(p.b))/graph.EdgeSize ||
+		ne*graph.EdgeSize+nv*8 > uint64(len(p.b)) {
+		return nil, fmt.Errorf("%w: implausible graph dimensions (%d vertices, %d edges, %d payload bytes left)", ErrCorruptCheckpoint, nv, ne, len(p.b))
 	}
 	edges := make([]graph.Edge, ne)
 	for i := range edges {
-		if edges[i].Src, err = p.u32(); err != nil {
+		eb, err := p.need(graph.EdgeSize)
+		if err != nil {
 			return nil, err
 		}
-		if edges[i].Dst, err = p.u32(); err != nil {
-			return nil, err
-		}
-		if edges[i].Weight, err = p.f64(); err != nil {
-			return nil, err
-		}
+		edges[i] = graph.GetEdge(eb)
 	}
 	g, err := graph.Build(int(nv), edges)
 	if err != nil {
@@ -402,6 +436,25 @@ func Restore(r io.Reader, opts ...Option) (*System, error) {
 			return nil, err
 		}
 	}
+	// v4: the WAL binding. The recorded log position must agree with the
+	// recorded batch count — they are written from the same field, so a
+	// mismatch can only mean in-place damage that slipped past the CRC.
+	if version >= 4 {
+		hadWAL, err := p.u8()
+		if err != nil {
+			return nil, err
+		}
+		if hadWAL > 1 {
+			return nil, fmt.Errorf("%w: WAL flag %d", ErrCorruptCheckpoint, hadWAL)
+		}
+		walSeq, err := p.u64()
+		if err != nil {
+			return nil, err
+		}
+		if walSeq != batches {
+			return nil, fmt.Errorf("%w: log position %d disagrees with batch count %d", ErrCorruptCheckpoint, walSeq, batches)
+		}
+	}
 	if len(p.b) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptCheckpoint, len(p.b))
 	}
@@ -430,6 +483,14 @@ func Restore(r io.Reader, opts ...Option) (*System, error) {
 	all = append(all, opts...)
 	sys, err := New(g, alg, all...)
 	if err != nil {
+		// With no caller options the recorded configuration alone failed to
+		// reconstruct — that is checkpoint damage (CRC-validated bytes can
+		// still encode e.g. an asymmetric graph for a symmetric kernel), so
+		// the error carries the corruption type. With caller options the
+		// conflict may be theirs; surface the plain cause.
+		if len(opts) == 0 {
+			return nil, fmt.Errorf("%w: recorded configuration does not reconstruct: %w", ErrCorruptCheckpoint, err)
+		}
 		return nil, fmt.Errorf("jetstream: restore: %w", err)
 	}
 	if !replayParallel {
@@ -438,6 +499,9 @@ func Restore(r io.Reader, opts ...Option) (*System, error) {
 
 	engDep := sys.js.Engine().Dep()
 	if engDep != nil && len(dep) == 0 {
+		if len(opts) == 0 {
+			return nil, fmt.Errorf("%w: recorded options enable dependency tracking but the checkpoint recorded no dependency state", ErrCorruptCheckpoint)
+		}
 		return nil, fmt.Errorf("jetstream: restore: options enable dependency tracking but the checkpoint recorded none")
 	}
 	copy(sys.js.State(), state)

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"jetstream"
+	"jetstream/internal/wal"
 )
 
 func main() {
@@ -43,44 +44,73 @@ func main() {
 		verify   = flag.Bool("verify", false, "validate against a from-scratch solver after each batch")
 		stats    = flag.Bool("stats", false, "print full work counters per batch")
 		metrics  = flag.String("metrics", "", "serve Prometheus metrics on this address (e.g. :9090)")
+
+		walDir      = flag.String("wal", "", "journal every batch to a write-ahead log in this directory")
+		walSync     = flag.String("wal-sync", "batch", "WAL fsync policy: batch, interval, none")
+		walInterval = flag.Int("wal-sync-interval", 16, "batches between fsyncs under -wal-sync interval")
+		resume      = flag.Bool("resume", false, "resume the stream from the -wal directory instead of cold-starting")
+		ckptPath    = flag.String("checkpoint", "", "write a checkpoint here (atomically) when the stream completes")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "also checkpoint (and compact the WAL) every N batches")
 	)
 	flag.Parse()
 
-	a, err := jetstream.NewAlgorithm(jetstream.AlgorithmSpec{
-		Name: *algoName, Root: uint32(*root), Eps: *eps,
-	})
+	syncPolicy, err := jetstream.ParseWALSyncPolicy(*walSync)
 	if err != nil {
 		log.Fatal(err)
 	}
+	walOpts := jetstream.WALOptions{Sync: syncPolicy, Interval: *walInterval}
 
-	g, err := loadGraph(*path, *gen, *vertices, *edges, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
 	symmetric := *algoName == "cc"
-	if symmetric {
-		g = jetstream.Symmetrize(g)
-	}
 
-	var opt jetstream.OptLevel
-	switch *optName {
-	case "base":
-		opt = jetstream.OptBase
-	case "vap":
-		opt = jetstream.OptVAP
-	case "dap":
-		opt = jetstream.OptDAP
-	default:
-		log.Fatalf("unknown -opt %q", *optName)
-	}
+	var sys *jetstream.System
+	if *resume {
+		if *walDir == "" {
+			log.Fatal("-resume requires -wal")
+		}
+		var err error
+		sys, err = jetstream.RecoverFromDir(*walDir, jetstream.WithWALOptions(*walDir, walOpts))
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		a, err := jetstream.NewAlgorithm(jetstream.AlgorithmSpec{
+			Name: *algoName, Root: uint32(*root), Eps: *eps,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 
-	opts := []jetstream.Option{jetstream.WithOpt(opt), jetstream.WithTiming(*timing)}
-	if *slices > 1 {
-		opts = append(opts, jetstream.WithSlices(*slices))
-	}
-	sys, err := jetstream.New(g, a, opts...)
-	if err != nil {
-		log.Fatal(err)
+		g, err := loadGraph(*path, *gen, *vertices, *edges, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if symmetric {
+			g = jetstream.Symmetrize(g)
+		}
+
+		var opt jetstream.OptLevel
+		switch *optName {
+		case "base":
+			opt = jetstream.OptBase
+		case "vap":
+			opt = jetstream.OptVAP
+		case "dap":
+			opt = jetstream.OptDAP
+		default:
+			log.Fatalf("unknown -opt %q", *optName)
+		}
+
+		opts := []jetstream.Option{jetstream.WithOpt(opt), jetstream.WithTiming(*timing)}
+		if *slices > 1 {
+			opts = append(opts, jetstream.WithSlices(*slices))
+		}
+		if *walDir != "" {
+			opts = append(opts, jetstream.WithWALOptions(*walDir, walOpts))
+		}
+		sys, err = jetstream.New(g, a, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *metrics != "" {
@@ -97,11 +127,16 @@ func main() {
 	}
 
 	fmt.Printf("graph: %d vertices, %d edges; algorithm: %s (%s deletes)\n",
-		g.NumVertices(), g.NumEdges(), *algoName, *optName)
+		sys.Graph().NumVertices(), sys.Graph().NumEdges(), *algoName, *optName)
 
-	res := sys.RunInitial()
-	fmt.Printf("initial evaluation: %v (%d cycles, %d events)\n",
-		res.Duration, res.Cycles, res.Stats.EventsProcessed)
+	if *resume {
+		fmt.Printf("resumed from %s: %d batches already applied (WAL %d bytes)\n",
+			*walDir, sys.Batches(), sys.WALSize())
+	} else {
+		res := sys.RunInitial()
+		fmt.Printf("initial evaluation: %v (%d cycles, %d events)\n",
+			res.Duration, res.Cycles, res.Stats.EventsProcessed)
+	}
 
 	sgen := jetstream.NewStream(jetstream.StreamConfig{
 		BatchSize: *batch, InsertFrac: *mix, Symmetric: symmetric, Seed: *seed ^ 0x9e77,
@@ -124,7 +159,37 @@ func main() {
 			}
 			fmt.Printf("batch %d: verified against from-scratch solver\n", i+1)
 		}
+		if *ckptEvery > 0 && (i+1)%*ckptEvery == 0 {
+			if *walDir != "" {
+				if err := sys.Compact(); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("batch %d: snapshot rewritten, WAL compacted to %d bytes\n", i+1, sys.WALSize())
+			}
+			if *ckptPath != "" {
+				if err := writeCheckpoint(sys, *ckptPath); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
 	}
+
+	if *ckptPath != "" {
+		if err := writeCheckpoint(sys, *ckptPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("checkpoint written to %s\n", *ckptPath)
+	}
+	if err := sys.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// writeCheckpoint serializes the system's state to path atomically: the bytes
+// land in a temp file in the same directory, are fsynced, and are renamed
+// over path, so a crash mid-write can never leave a torn checkpoint behind.
+func writeCheckpoint(sys *jetstream.System, path string) error {
+	return wal.WriteFileAtomic(nil, path, sys.Checkpoint)
 }
 
 func verifyTolerance(algoName string, eps float64, edges, batches int) float64 {
@@ -143,8 +208,15 @@ func loadGraph(path, gen string, vertices, edges int, seed int64) (*jetstream.Gr
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		return jetstream.ReadEdgeList(f, 0)
+		g, err := jetstream.ReadEdgeList(f, 0)
+		cerr := f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if cerr != nil {
+			return nil, cerr
+		}
+		return g, nil
 	}
 	switch gen {
 	case "rmat":

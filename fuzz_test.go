@@ -1,10 +1,16 @@
 package jetstream
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
+	"hash/crc64"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
+
+	"jetstream/internal/wal"
 )
 
 // fuzzBatch decodes an arbitrary byte string into a Batch. Nothing is
@@ -123,6 +129,102 @@ func FuzzApplyBatchParallel(f *testing.F) {
 			if seq[i] != par[i] {
 				t.Fatalf("vertex %d: parallel state %v != sequential %v\nbatch: %+v", i, par[i], seq[i], b)
 			}
+		}
+	})
+}
+
+// FuzzRestore hardens the checkpoint reader against arbitrary bytes. Each
+// input is fed to Restore twice: raw, which exercises the frame checks
+// (magic, version, length, checksum), and wrapped in a valid frame — correct
+// magic, current version, matching length and CRC64 — which carries the
+// fuzzer's payload past the envelope into the deep field decoder. Restore
+// must never panic and every rejection must wrap ErrCorruptCheckpoint (with
+// ErrTruncated additionally marking short input).
+func FuzzRestore(f *testing.F) {
+	// Seed with a real checkpoint so mutations explore the valid format's
+	// neighborhood, plus its truncations and an empty input.
+	sys, err := New(RMAT(RMATConfig{Vertices: 32, Edges: 128, Seed: 3}), SSSP(0), WithTiming(false))
+	if err != nil {
+		f.Fatal(err)
+	}
+	sys.RunInitial()
+	var buf bytes.Buffer
+	if err := sys.Checkpoint(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-3])
+	f.Add(valid[len(ckptMagic)+12:]) // payload without frame
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		check := func(form string, r *bytes.Reader) {
+			sys, err := Restore(r)
+			if err == nil {
+				if sys == nil {
+					t.Fatalf("%s: nil system with nil error", form)
+				}
+				return
+			}
+			if !errors.Is(err, ErrCorruptCheckpoint) {
+				t.Fatalf("%s: rejection does not wrap ErrCorruptCheckpoint: %v", form, err)
+			}
+		}
+		check("raw", bytes.NewReader(data))
+
+		framed := make([]byte, 0, len(ckptMagic)+12+len(data)+8)
+		framed = append(framed, ckptMagic[:]...)
+		framed = binary.LittleEndian.AppendUint32(framed, ckptVersion)
+		framed = binary.LittleEndian.AppendUint64(framed, uint64(len(data)))
+		framed = append(framed, data...)
+		framed = binary.LittleEndian.AppendUint64(framed, crc64.Checksum(data, ckptCRC))
+		check("framed", bytes.NewReader(framed))
+	})
+}
+
+// FuzzWALReplay hardens the log reader: arbitrary bytes fed to both Replay
+// (strict: contiguous sequence from the snapshot position) and Scan (any
+// start) must never panic; rejections must wrap wal.ErrCorrupt and a clean
+// torn tail must be reported through ReplayStats, not an error.
+func FuzzWALReplay(f *testing.F) {
+	// Seed with a real two-record log and its torn/rotted variants.
+	dir := f.TempDir()
+	l, err := wal.Open(dir, wal.Options{Sync: wal.SyncNone})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		b := Batch{Inserts: []Edge{{Src: uint32(i), Dst: uint32(i + 1), Weight: 1}}}
+		if err := l.Append(uint64(i), b); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(filepath.Join(dir, wal.LogName))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	rotted := append([]byte(nil), valid...)
+	rotted[9] ^= 0x40
+	f.Add(rotted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := wal.Replay(data, 0, func(wal.Record) error { return nil })
+		if err != nil && !errors.Is(err, wal.ErrCorrupt) {
+			t.Fatalf("Replay rejection does not wrap ErrCorrupt: %v", err)
+		}
+		if err == nil && st.Truncated && st.ValidSize >= int64(len(data)) {
+			t.Fatalf("truncated stats without dropped bytes: %+v over %d bytes", st, len(data))
+		}
+		if _, err := wal.Scan(data); err != nil && !errors.Is(err, wal.ErrCorrupt) {
+			t.Fatalf("Scan rejection does not wrap ErrCorrupt: %v", err)
 		}
 	})
 }

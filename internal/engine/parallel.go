@@ -70,10 +70,10 @@ type peWorker struct {
 	id      int
 	run     *parallelRun
 	shard   *queue.Shard
-	st      stats.Counters          // merged into the engine's sink at phase end
-	staging [][]event.Event         // cross-partition events not yet sent, per destination
-	inbox   []chan []event.Event    // mail[*][id], nil at index id
-	outbox  []chan []event.Event    // mail[id][*], nil at index id
+	st      stats.Counters       // merged into the engine's sink at phase end
+	staging [][]event.Event      // cross-partition events not yet sent, per destination
+	inbox   []chan []event.Event // mail[*][id], nil at index id
+	outbox  []chan []event.Event // mail[id][*], nil at index id
 
 	// Per-batch token bookkeeping (see quiescence comment above).
 	newLive int64 // records that became live while processing the current batch

@@ -1,0 +1,221 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jetstream/internal/graph"
+	"jetstream/internal/wal"
+)
+
+func diskBatch(i int) graph.Batch {
+	return graph.Batch{Inserts: []graph.Edge{{Src: uint32(i), Dst: uint32(i + 1), Weight: 1}}}
+}
+
+// TestDiskKillSweep steps a kill point through every byte boundary of a
+// three-record log and checks the invariant recovery depends on: the real
+// file holds exactly the bytes written before the kill, and a scan of those
+// bytes yields exactly the whole records that fit under the kill offset.
+func TestDiskKillSweep(t *testing.T) {
+	recSize := wal.AppendedSize(diskBatch(1))
+	total := 3 * recSize
+	for kill := 0; kill <= total; kill += recSize / 3 {
+		dir := t.TempDir()
+		d := NewDisk(dir, DiskConfig{KillAtByte: int64(kill), FlipBitAt: -1, FullAtByte: -1})
+		l, err := wal.Open(dir, wal.Options{Sync: wal.SyncNone, FS: d})
+		if err != nil {
+			t.Fatalf("kill=%d: open: %v", kill, err)
+		}
+		survived := 0
+		for i := 1; i <= 3; i++ {
+			if err := l.Append(uint64(i), diskBatch(i)); err != nil {
+				if !errors.Is(err, ErrDiskKilled) {
+					t.Fatalf("kill=%d: append %d: %v", kill, i, err)
+				}
+				break
+			}
+			survived++
+		}
+		wantKilled := kill < total
+		if d.Killed() != wantKilled {
+			t.Fatalf("kill=%d: Killed = %v, want %v", kill, d.Killed(), wantKilled)
+		}
+
+		// The bytes that reached the real file are exactly the pre-kill ones.
+		data, err := os.ReadFile(filepath.Join(dir, wal.LogName))
+		if err != nil {
+			t.Fatalf("kill=%d: %v", kill, err)
+		}
+		wantBytes := total
+		if kill < total {
+			wantBytes = kill
+		}
+		if len(data) != wantBytes {
+			t.Fatalf("kill=%d: %d bytes on disk, want %d", kill, len(data), wantBytes)
+		}
+
+		// Recovery with the real filesystem sees the whole records only.
+		st, err := wal.Scan(data)
+		if err != nil {
+			t.Fatalf("kill=%d: scan: %v", kill, err)
+		}
+		if st.Replayed != kill/recSize {
+			t.Fatalf("kill=%d: %d intact records, want %d", kill, st.Replayed, kill/recSize)
+		}
+		if survived < st.Replayed {
+			// Append counts a record as surviving only if its full write was
+			// admitted; every intact on-disk record must have been admitted.
+			t.Fatalf("kill=%d: %d appends succeeded but %d records on disk", kill, survived, st.Replayed)
+		}
+	}
+}
+
+func TestDiskKillLatchesEverything(t *testing.T) {
+	dir := t.TempDir()
+	d := NewDisk(dir, DiskConfig{KillAtByte: 0, FlipBitAt: -1, FullAtByte: -1})
+	f, err := d.OpenAppend("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abc")); !errors.Is(err, ErrDiskKilled) {
+		t.Fatalf("write = %v, want ErrDiskKilled", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrDiskKilled) {
+		t.Fatalf("sync = %v, want ErrDiskKilled", err)
+	}
+	if _, err := d.OpenAppend("y"); !errors.Is(err, ErrDiskKilled) {
+		t.Fatalf("open = %v, want ErrDiskKilled", err)
+	}
+	if _, err := d.ReadFile("x"); !errors.Is(err, ErrDiskKilled) {
+		t.Fatalf("read = %v, want ErrDiskKilled", err)
+	}
+	if err := d.Rename("x", "y"); !errors.Is(err, ErrDiskKilled) {
+		t.Fatalf("rename = %v, want ErrDiskKilled", err)
+	}
+}
+
+// TestDiskBitFlip injects silent bit rot on the write path and checks the
+// log layer's two corruption outcomes: rot in the last record presents as a
+// torn tail (truncated, earlier records recovered), rot mid-log is refused.
+func TestDiskBitFlip(t *testing.T) {
+	recSize := wal.AppendedSize(diskBatch(1))
+	cases := []struct {
+		name    string
+		flipAt  int64
+		records int
+		midLog  bool
+	}{
+		{"last-record", int64(2*recSize + 8), 3, false},
+		{"mid-log", int64(recSize + 8), 3, true},
+		{"first-record", 4, 3, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			d := NewDisk(dir, DiskConfig{KillAtByte: -1, FlipBitAt: tc.flipAt, FullAtByte: -1})
+			l, err := wal.Open(dir, wal.Options{FS: d})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= tc.records; i++ {
+				if err := l.Append(uint64(i), diskBatch(i)); err != nil {
+					t.Fatalf("append %d: %v", i, err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			data, err := os.ReadFile(filepath.Join(dir, wal.LogName))
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := wal.Scan(data)
+			if tc.midLog {
+				if !errors.Is(err, wal.ErrCorrupt) {
+					t.Fatalf("scan = %v, want ErrCorrupt", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.Truncated || st.Replayed != tc.records-1 {
+				t.Fatalf("stats = %+v, want truncated with %d intact", st, tc.records-1)
+			}
+		})
+	}
+}
+
+// TestDiskFull models ENOSPC: the write fails but the process lives, so the
+// log latches broken while sync and close still succeed, and reopening after
+// space is freed recovers the durable prefix.
+func TestDiskFull(t *testing.T) {
+	dir := t.TempDir()
+	recSize := wal.AppendedSize(diskBatch(1))
+	d := NewDisk(dir, DiskConfig{KillAtByte: -1, FlipBitAt: -1, FullAtByte: int64(recSize + 10)})
+	l, err := wal.Open(dir, wal.Options{Sync: wal.SyncNone, FS: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, diskBatch(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(2, diskBatch(2)); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("append on full disk = %v, want ErrNoSpace", err)
+	}
+	if d.Killed() {
+		t.Fatal("full disk marked killed")
+	}
+	// The log is broken (its tail is torn) but the disk still accepts
+	// metadata operations: Close releases the handle.
+	if err := l.Append(3, diskBatch(3)); err == nil {
+		t.Fatal("append after ENOSPC succeeded")
+	}
+	if err := l.Close(); err == nil {
+		t.Fatal("close flushed a broken log without error")
+	}
+
+	// "Space freed": reopen with the real filesystem; the torn record is
+	// truncated and batch 1 survives.
+	l2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l2.Close() }()
+	if l2.LastSeq() != 1 {
+		t.Fatalf("LastSeq after ENOSPC recovery = %d, want 1", l2.LastSeq())
+	}
+}
+
+// TestDiskWritten checks cumulative offset accounting across files, which the
+// crashpoint sweep uses to aim kills at exact log offsets.
+func TestDiskWritten(t *testing.T) {
+	dir := t.TempDir()
+	d := NewDisk(dir, DiskConfig{KillAtByte: -1, FlipBitAt: -1, FullAtByte: -1})
+	a, err := d.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Create("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write(make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Written() != 150 {
+		t.Fatalf("Written = %d, want 150", d.Written())
+	}
+}

@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Canonical wire encoding of edges and batches, shared by every durable
+// format in the module: the checkpoint payload (root checkpoint.go) and the
+// write-ahead log records (internal/wal). One codec means a graph serialized
+// by either layer deserializes identically in the other, and the fuzzers for
+// both formats exercise the same decoder.
+//
+// An edge is 16 bytes, little-endian: u32 src, u32 dst, f64 weight. A batch
+// is two u32 counts (inserts, deletes) followed by that many edges each; the
+// encoding is self-delimiting, so a decoder knows exactly how many bytes a
+// batch occupies.
+
+// EdgeSize is the encoded size of one edge in bytes.
+const EdgeSize = 16
+
+// batchHeaderSize is the two u32 counts prefixing an encoded batch.
+const batchHeaderSize = 8
+
+// ErrShortCodec is wrapped by codec decode errors: the input does not contain
+// a complete, internally consistent encoding. Callers distinguish "feed me
+// more bytes / truncated" from other failures with errors.Is.
+var ErrShortCodec = fmt.Errorf("graph: short or inconsistent encoding")
+
+// PutEdge encodes e into dst, which must hold at least EdgeSize bytes.
+func PutEdge(dst []byte, e Edge) {
+	binary.LittleEndian.PutUint32(dst[0:], e.Src)
+	binary.LittleEndian.PutUint32(dst[4:], e.Dst)
+	binary.LittleEndian.PutUint64(dst[8:], math.Float64bits(e.Weight))
+}
+
+// GetEdge decodes the edge at the front of src, which must hold at least
+// EdgeSize bytes.
+func GetEdge(src []byte) Edge {
+	return Edge{
+		Src:    binary.LittleEndian.Uint32(src[0:]),
+		Dst:    binary.LittleEndian.Uint32(src[4:]),
+		Weight: math.Float64frombits(binary.LittleEndian.Uint64(src[8:])),
+	}
+}
+
+// AppendBatch appends the encoding of b to dst and returns the extended
+// slice.
+func AppendBatch(dst []byte, b Batch) []byte {
+	var hdr [batchHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(b.Inserts)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(b.Deletes)))
+	dst = append(dst, hdr[:]...)
+	var eb [EdgeSize]byte
+	for _, e := range b.Inserts {
+		PutEdge(eb[:], e)
+		dst = append(dst, eb[:]...)
+	}
+	for _, e := range b.Deletes {
+		PutEdge(eb[:], e)
+		dst = append(dst, eb[:]...)
+	}
+	return dst
+}
+
+// EncodedBatchSize returns the exact encoded size of b in bytes.
+func EncodedBatchSize(b Batch) int {
+	return batchHeaderSize + EdgeSize*b.Size()
+}
+
+// DecodeBatch decodes one batch from the front of src and returns it with
+// the number of bytes consumed. The counts are validated against the bytes
+// actually present before anything is allocated, so arbitrary input can never
+// provoke a huge allocation or a panic; a damaged or truncated encoding is
+// rejected with an error wrapping ErrShortCodec.
+func DecodeBatch(src []byte) (Batch, int, error) {
+	if len(src) < batchHeaderSize {
+		return Batch{}, 0, fmt.Errorf("%w: %d bytes, want at least %d", ErrShortCodec, len(src), batchHeaderSize)
+	}
+	nIns := binary.LittleEndian.Uint32(src[0:])
+	nDel := binary.LittleEndian.Uint32(src[4:])
+	need := uint64(batchHeaderSize) + EdgeSize*(uint64(nIns)+uint64(nDel))
+	if need > uint64(len(src)) {
+		return Batch{}, 0, fmt.Errorf("%w: batch of %d+%d edges needs %d bytes, have %d", ErrShortCodec, nIns, nDel, need, len(src))
+	}
+	b := Batch{}
+	off := batchHeaderSize
+	if nIns > 0 {
+		b.Inserts = make([]Edge, nIns)
+		for i := range b.Inserts {
+			b.Inserts[i] = GetEdge(src[off:])
+			off += EdgeSize
+		}
+	}
+	if nDel > 0 {
+		b.Deletes = make([]Edge, nDel)
+		for i := range b.Deletes {
+			b.Deletes[i] = GetEdge(src[off:])
+			off += EdgeSize
+		}
+	}
+	return b, off, nil
+}

@@ -17,7 +17,10 @@
 package host
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"jetstream/internal/algo"
@@ -27,6 +30,7 @@ import (
 	"jetstream/internal/obs"
 	"jetstream/internal/stats"
 	"jetstream/internal/version"
+	"jetstream/internal/wal"
 )
 
 // LinkConfig describes the host-device DMA link.
@@ -81,6 +85,15 @@ type Config struct {
 	// Fault configures the deterministic fault injector on the DMA link and
 	// the update feed (zero value: no injection).
 	Fault fault.Config
+
+	// WALDir, when set, attaches a durable write-ahead delta log: every
+	// sanitized batch is journaled after its DMA transfer succeeds and before
+	// the version store or the device commit it, so RecoverSession can replay
+	// the durable stream onto a fresh session after a crash.
+	WALDir string
+	// WAL configures the log's sync policy and filesystem (zero value:
+	// per-batch fsync on the real filesystem).
+	WAL wal.Options
 }
 
 // DefaultConfig uses the full-CSR swap, matching §4.7's simplest case.
@@ -129,6 +142,7 @@ type Session struct {
 	js    *core.JetStream
 	st    *stats.Counters
 	inj   *fault.Injector
+	wal   *wal.Log
 
 	initialized bool
 	prevCycles  uint64
@@ -183,14 +197,103 @@ func NewSession(base *graph.CSR, a algo.Algorithm, cfg Config) (*Session, error)
 		return nil, fmt.Errorf("host: %s requires a symmetric graph", a.Name())
 	}
 	st := &stats.Counters{}
-	return &Session{
+	s := &Session{
 		cfg:   cfg,
 		store: version.NewStore(base, 0),
 		alg:   a,
 		js:    core.New(base, a, cfg.Accel, st),
 		st:    st,
 		inj:   fault.New(cfg.Fault),
-	}, nil
+	}
+	if cfg.WALDir != "" {
+		l, err := wal.Open(cfg.WALDir, cfg.WAL)
+		if err != nil {
+			return nil, fmt.Errorf("host: %w", err)
+		}
+		if l.LastSeq() > 0 {
+			_ = l.Close() // refusing anyway; the advisory error below wins
+			return nil, fmt.Errorf("host: WAL directory %s already holds %d journaled batch(es); resume it with RecoverSession", cfg.WALDir, l.LastSeq())
+		}
+		l.SetFloor(0)
+		s.wal = l
+	}
+	return s, nil
+}
+
+// Sync flushes the session's write-ahead log — the explicit durability point
+// under the interval and none sync policies. Without a WAL it is a no-op.
+func (s *Session) Sync() error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("host: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and releases the write-ahead log. Batches streamed after
+// Close are no longer journaled. Close is idempotent.
+func (s *Session) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	if err != nil {
+		return fmt.Errorf("host: %w", err)
+	}
+	return nil
+}
+
+// RecoverSession rebuilds a session from the write-ahead log in cfg.WALDir: a
+// fresh session over base is initialized, every intact journaled batch is
+// replayed directly into the version store and the device (no re-journaling,
+// no re-injected faults, no re-modeled DMA — the transfers already happened),
+// and the log is reattached for further journaling. A torn record at the end
+// of the log is truncated away; mid-log damage fails with an error wrapping
+// wal.ErrCorrupt. The replayed batch count is returned alongside the session.
+func RecoverSession(base *graph.CSR, a algo.Algorithm, cfg Config) (*Session, int, error) {
+	dir := cfg.WALDir
+	if dir == "" {
+		return nil, 0, fmt.Errorf("host: recover: no WAL directory configured")
+	}
+	cfg.WALDir = "" // replay must not journal into the log being replayed
+	s, err := NewSession(base, a, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := s.Initialize(); err != nil {
+		return nil, 0, fmt.Errorf("host: recover: %w", err)
+	}
+	fs := cfg.WAL.FS
+	if fs == nil {
+		fs = wal.OSFS{}
+	}
+	data, err := fs.ReadFile(filepath.Join(dir, wal.LogName))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, 0, fmt.Errorf("host: recover: read log: %w", err)
+	}
+	st, err := wal.Replay(data, 0, func(r wal.Record) error {
+		s.store.AppendLazy(r.Batch)
+		if aerr := s.js.ApplyBatch(r.Batch); aerr != nil {
+			return fmt.Errorf("host: recover: replay batch %d: %w", r.Seq, aerr)
+		}
+		s.batches++
+		return nil
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("host: recover: %w", err)
+	}
+	s.prevCycles = s.js.Cycles()
+	l, err := wal.Open(dir, cfg.WAL)
+	if err != nil {
+		return nil, 0, fmt.Errorf("host: recover: %w", err)
+	}
+	l.SetFloor(s.batches)
+	s.wal = l
+	s.cfg.WALDir = dir
+	return s, st.Replayed, nil
 }
 
 // Store exposes the session's version store (e.g. to attach more queries or
@@ -345,6 +448,17 @@ func (s *Session) Stream(b graph.Batch) (Result, error) {
 	}
 	if err != nil {
 		return Result{DMASeconds: dmaSecs, Retries: retries, Injected: uint64(injected), Repaired: uint64(len(issues))}, err
+	}
+
+	// Journal-before-commit: once the transfer has succeeded, the sanitized
+	// delta becomes durable before the version store or the device see it, so
+	// the log is always at or ahead of the committed state. A journaling
+	// failure rejects the batch with every layer untouched.
+	if s.wal != nil {
+		if werr := s.wal.Append(s.batches+1, clean); werr != nil {
+			return Result{DMASeconds: dmaSecs, Retries: retries, Injected: uint64(injected), Repaired: uint64(len(issues))},
+				fmt.Errorf("host: wal: %w", werr)
+		}
 	}
 
 	// Commit: version store first, then the device. Both consume the same

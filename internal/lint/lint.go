@@ -15,6 +15,9 @@
 //   - errwrap: fmt.Errorf with an error argument must use %w, and exported
 //     root-package functions must not return bare errors minted by other
 //     packages, so callers can errors.Is/As across the public boundary.
+//   - syncerr: the durability-bearing packages (root, internal/wal,
+//     cmd/jetstream) must not silently discard the error of Close or Sync; a
+//     dropped fsync error is a dropped durability guarantee.
 //
 // A diagnostic can be suppressed with a justified escape hatch on the same
 // line or the line above:
@@ -76,7 +79,7 @@ type Analyzer struct {
 
 // All returns the full suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Atomicmix, Determinism, Panicfree, Errwrap}
+	return []*Analyzer{Atomicmix, Determinism, Panicfree, Errwrap, Syncerr}
 }
 
 // Run executes the analyzers over m, applies //jetlint:allow suppressions,

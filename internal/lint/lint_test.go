@@ -23,6 +23,7 @@ var fixtureCases = []struct {
 	{"determinism_graph", "jetstream/internal/graph", Determinism},
 	{"panicfree", "jetstream", Panicfree},
 	{"errwrap", "jetstream", Errwrap},
+	{"syncerr", "jetstream/internal/wal", Syncerr},
 }
 
 func TestAnalyzers(t *testing.T) {
@@ -160,7 +161,7 @@ func TestAllNames(t *testing.T) {
 		names = append(names, a.Name)
 	}
 	got := strings.Join(names, ",")
-	if got != "atomicmix,determinism,panicfree,errwrap" {
+	if got != "atomicmix,determinism,panicfree,errwrap,syncerr" {
 		t.Fatalf("All() = %s", got)
 	}
 }

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Syncerr forbids silently discarding the error of a Close or Sync call in
+// the durability-bearing packages: the module root package (checkpoint and
+// WAL plumbing), internal/wal, and cmd/jetstream. A dropped fsync or close
+// error is a dropped durability guarantee — the kernel reports a failed
+// flush exactly once, through that return value, and a caller that ignores
+// it will happily acknowledge batches that never reached stable storage.
+//
+// Flagged forms are the ones that discard the value invisibly: a bare
+// expression statement, `defer f.Close()`, and `go f.Close()`. An explicit
+// `_ = f.Close()` assignment is allowed: it is a visible, greppable decision
+// that the error is intentionally unrecoverable at that point (cleanup on an
+// already-failing path). Test files are exempt.
+var Syncerr = &Analyzer{
+	Name: "syncerr",
+	Doc:  "forbid discarding Close/Sync errors in the durability-bearing packages",
+	Run:  runSyncerr,
+}
+
+func runSyncerr(pass *Pass) {
+	targets := map[string]bool{
+		pass.Mod.Path:                    true,
+		pass.Mod.Path + "/internal/wal":  true,
+		pass.Mod.Path + "/cmd/jetstream": true,
+	}
+	for _, pkg := range pass.Mod.Pkgs {
+		if !targets[pkg.Path] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if pass.IsTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+						checkSyncErrCall(pass, pkg, call, "")
+					}
+				case *ast.DeferStmt:
+					checkSyncErrCall(pass, pkg, st.Call, "defer ")
+				case *ast.GoStmt:
+					checkSyncErrCall(pass, pkg, st.Call, "go ")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkSyncErrCall reports call when it invokes a Close or Sync returning
+// exactly one error that the enclosing statement form discards.
+func checkSyncErrCall(pass *Pass, pkg *Package, call *ast.CallExpr, form string) {
+	fn, ok := callee(pkg.Info, call).(*types.Func)
+	if !ok {
+		return
+	}
+	name := fn.Name()
+	if name != "Close" && name != "Sync" {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 || !isErrorType(sig.Results().At(0).Type()) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s%s discards its error; a dropped close/sync error is a dropped durability guarantee — check it or assign it to _ explicitly", form, name)
+}

@@ -1,0 +1,57 @@
+// Fixture for the syncerr analyzer, loaded under the import path
+// jetstream/internal/wal so the package sits inside the durability scope.
+package fix
+
+import "os"
+
+// closer has the signature shape the analyzer matches.
+type closer struct{}
+
+func (closer) Close() error { return nil }
+func (closer) Sync() error  { return nil }
+
+// loud has same-named methods that return nothing: never flagged.
+type loud struct{}
+
+func (loud) Close() {}
+func (loud) Sync()  {}
+
+// multi returns more than one value: not the durability shape, not flagged.
+type multi struct{}
+
+func (multi) Close() (int, error) { return 0, nil }
+
+func silentDiscards(f *os.File, c closer) {
+	f.Close()       // want "Close discards its error"
+	c.Sync()        // want "Sync discards its error"
+	defer f.Close() // want "defer Close discards its error"
+	go c.Close()    // want "go Close discards its error"
+	defer func() {
+		c.Sync() // want "Sync discards its error"
+	}()
+}
+
+func explicitDiscards(f *os.File, c closer) {
+	_ = f.Close() // allowed: visible, greppable decision
+	_ = c.Sync()
+}
+
+func handled(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func notTheShape(l loud, m multi) {
+	l.Close() // returns nothing: fine
+	l.Sync()
+	if _, err := m.Close(); err != nil {
+		_ = err
+	}
+}
+
+func suppressedDiscard(f *os.File) {
+	//jetlint:allow syncerr -- demonstrating the escape hatch
+	f.Close()
+}

@@ -1,0 +1,125 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the write handle the log needs from its filesystem: ordered
+// appends, a durability barrier, and release. *os.File satisfies it.
+type File interface {
+	io.Writer
+	// Sync flushes the file's dirty pages to stable storage.
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the few filesystem operations the durability layer performs,
+// so tests can interpose deterministic disk faults (internal/fault.Disk)
+// under the exact code paths production runs. The zero-configuration
+// implementation is OSFS.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// OpenAppend opens path for appending, creating it when absent.
+	OpenAppend(path string) (File, error)
+	// Create opens path truncated for writing (temp files for atomic
+	// replacement).
+	Create(path string) (File, error)
+	// ReadFile returns the full contents of path.
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// Truncate cuts path to size bytes.
+	Truncate(path string, size int64) error
+	// SyncDir flushes the directory entry metadata for dir, making a
+	// preceding Rename durable.
+	SyncDir(dir string) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) OpenAppend(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open append: %w", err)
+	}
+	return f, nil
+}
+
+func (OSFS) Create(path string) (File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create: %w", err)
+	}
+	return f, nil
+}
+
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("wal: sync dir: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: sync dir close: %w", cerr)
+	}
+	return nil
+}
+
+// WriteFileAtomic durably replaces path with the bytes write produces: the
+// content goes to a temp file in the same directory, is fsynced, and is
+// renamed over path, so a crash at any byte offset leaves either the old
+// complete file or the new complete file — never a torn mix. The directory
+// entry is fsynced after the rename to make the replacement itself durable.
+func WriteFileAtomic(fs FS, path string, write func(io.Writer) error) error {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: atomic write %s: %w", path, err)
+	}
+	if err := write(f); err != nil {
+		_ = f.Close() // best-effort cleanup; the write error is authoritative
+		_ = fs.Remove(tmp)
+		return fmt.Errorf("wal: atomic write %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = fs.Remove(tmp)
+		return fmt.Errorf("wal: atomic write %s: sync: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		_ = fs.Remove(tmp)
+		return fmt.Errorf("wal: atomic write %s: close: %w", path, err)
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		_ = fs.Remove(tmp)
+		return fmt.Errorf("wal: atomic write %s: rename: %w", path, err)
+	}
+	if err := fs.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("wal: atomic write %s: %w", path, err)
+	}
+	return nil
+}

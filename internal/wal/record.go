@@ -1,0 +1,207 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+
+	"jetstream/internal/graph"
+)
+
+// Record framing. Each appended batch becomes one self-checking frame:
+//
+//	magic   [4]byte "JSWR"
+//	seq     u64     monotonic batch sequence number (== graph version)
+//	plen    u32     payload length in bytes
+//	payload plen    canonical batch encoding (graph.AppendBatch)
+//	crc     u64     CRC64/ECMA over everything above (magic through payload)
+//
+// The CRC covers the header too, so a bit flip anywhere in the frame —
+// sequence number, length field, payload — is detected. The magic makes
+// frames findable by scanning, which is how recovery distinguishes a torn
+// tail (nothing valid follows the damage) from mid-log corruption (an intact
+// frame follows it).
+var recMagic = [4]byte{'J', 'S', 'W', 'R'}
+
+const (
+	recHeaderSize  = 4 + 8 + 4 // magic + seq + plen
+	recTrailerSize = 8         // crc
+	// minRecordSize is the smallest legal frame: an empty batch still
+	// carries its two u32 counts.
+	minRecordSize = recHeaderSize + 8 + recTrailerSize
+	// maxPayload bounds a single record's payload; a plen beyond it is
+	// corruption, not a real batch.
+	maxPayload = 1 << 32
+)
+
+var recCRC = crc64.MakeTable(crc64.ECMA)
+
+// ErrCorrupt is wrapped by recovery errors caused by damage in the middle of
+// the log: an unreadable record with intact records after it, or a sequence
+// discontinuity. Unlike a torn tail — which replay repairs by truncation —
+// mid-log corruption means committed history is lost, and the only safe
+// response is to refuse and surface the error.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// Record is one decoded log entry.
+type Record struct {
+	// Seq is the batch sequence number: the graph version the batch
+	// produced when it was first applied.
+	Seq uint64
+	// Off and Size locate the record's frame in the log file.
+	Off  int64
+	Size int
+	// Batch is the decoded edge delta.
+	Batch graph.Batch
+}
+
+// appendRecord appends the frame for (seq, b) to dst.
+func appendRecord(dst []byte, seq uint64, b graph.Batch) []byte {
+	start := len(dst)
+	dst = append(dst, recMagic[:]...)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[0:], seq)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(graph.EncodedBatchSize(b)))
+	dst = append(dst, hdr[:]...)
+	dst = graph.AppendBatch(dst, b)
+	var crc [8]byte
+	binary.LittleEndian.PutUint64(crc[:], crc64.Checksum(dst[start:], recCRC))
+	return append(dst, crc[:]...)
+}
+
+// recordSize returns the encoded frame size for batch b.
+func recordSize(b graph.Batch) int {
+	return recHeaderSize + graph.EncodedBatchSize(b) + recTrailerSize
+}
+
+// decodeRecord tries to decode one frame at the front of data. It returns
+// ok=false when the bytes do not form a complete, checksum-valid frame —
+// the caller decides whether that is a torn tail or corruption.
+func decodeRecord(data []byte, off int64) (Record, bool) {
+	if len(data) < minRecordSize || [4]byte(data[0:4]) != recMagic {
+		return Record{}, false
+	}
+	seq := binary.LittleEndian.Uint64(data[4:])
+	plen := binary.LittleEndian.Uint32(data[12:])
+	if uint64(plen) > maxPayload {
+		return Record{}, false
+	}
+	total := recHeaderSize + int(plen) + recTrailerSize
+	if total > len(data) {
+		return Record{}, false
+	}
+	body := data[:recHeaderSize+int(plen)]
+	want := binary.LittleEndian.Uint64(data[recHeaderSize+int(plen):])
+	if crc64.Checksum(body, recCRC) != want {
+		return Record{}, false
+	}
+	b, n, err := graph.DecodeBatch(data[recHeaderSize : recHeaderSize+int(plen)])
+	if err != nil || n != int(plen) {
+		// The checksum passed but the payload is not a batch: a frame this
+		// writer never produced.
+		return Record{}, false
+	}
+	return Record{Seq: seq, Off: off, Size: total, Batch: b}, true
+}
+
+// anyIntactRecordAfter reports whether a checksum-valid frame starts at any
+// byte offset > from. A CRC64-validated frame cannot plausibly arise from a
+// torn partial write, so finding one past a decode failure proves the
+// failure is in-place damage to committed history, not a torn tail.
+func anyIntactRecordAfter(data []byte, from int) bool {
+	for off := from + 1; off+minRecordSize <= len(data); off++ {
+		if data[off] != recMagic[0] {
+			continue
+		}
+		if _, ok := decodeRecord(data[off:], int64(off)); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ReplayStats summarizes one replay pass.
+type ReplayStats struct {
+	// Replayed counts records delivered to the callback.
+	Replayed int
+	// Skipped counts intact records at or below the starting sequence
+	// (already covered by the snapshot the caller restored).
+	Skipped int
+	// ValidSize is the byte length of the intact log prefix; bytes past it
+	// are a torn tail and must be truncated before appending resumes.
+	ValidSize int64
+	// Truncated reports whether a torn tail was found (ValidSize < input).
+	Truncated bool
+	// LastSeq is the sequence number of the last intact record, or the
+	// caller's `after` when the log held none beyond it.
+	LastSeq uint64
+}
+
+// Replay walks the framed records in data in order and calls fn for every
+// intact record with Seq > after. Decoding stops cleanly at the first
+// unreadable record when nothing intact follows it (a torn tail from a crash
+// mid-append — the durable prefix is simply shorter); if an intact record
+// does follow the damage, or the sequence numbers are discontiguous, Replay
+// refuses with an error wrapping ErrCorrupt. The log's first record must sit
+// at or below after+1: a log that starts past the snapshot's position has
+// lost committed history, which is also corruption. A non-nil error from fn
+// aborts the walk and is returned verbatim.
+func Replay(data []byte, after uint64, fn func(Record) error) (ReplayStats, error) {
+	return walk(data, after, true, fn)
+}
+
+// Scan validates data's framing without knowing a snapshot position: record
+// integrity, torn-tail detection, and sequence contiguity between records,
+// but no constraint on where the log starts (a compacted log legitimately
+// begins at an arbitrary sequence). Open uses it to find the append point.
+func Scan(data []byte) (ReplayStats, error) {
+	return walk(data, ^uint64(0), false, nil)
+}
+
+func walk(data []byte, after uint64, checkStart bool, fn func(Record) error) (ReplayStats, error) {
+	st := ReplayStats{LastSeq: after}
+	if !checkStart {
+		st.LastSeq = 0
+	}
+	off := 0
+	prev := uint64(0)
+	first := true
+	for off < len(data) {
+		rec, ok := decodeRecord(data[off:], int64(off))
+		if !ok {
+			if anyIntactRecordAfter(data, off) {
+				return st, fmt.Errorf("%w: unreadable record at byte %d with intact records after it", ErrCorrupt, off)
+			}
+			st.ValidSize = int64(off)
+			st.Truncated = true
+			return st, nil
+		}
+		if !first && rec.Seq != prev+1 {
+			return st, fmt.Errorf("%w: sequence %d follows %d at byte %d", ErrCorrupt, rec.Seq, prev, off)
+		}
+		if first && checkStart && rec.Seq > after+1 {
+			return st, fmt.Errorf("%w: log starts at sequence %d but the snapshot covers only %d", ErrCorrupt, rec.Seq, after)
+		}
+		first = false
+		prev = rec.Seq
+		switch {
+		case checkStart && rec.Seq > after:
+			if fn != nil {
+				if err := fn(rec); err != nil {
+					return st, err
+				}
+			}
+			st.Replayed++
+			st.LastSeq = rec.Seq
+		case checkStart:
+			st.Skipped++
+		default:
+			st.Replayed++
+			st.LastSeq = rec.Seq
+		}
+		off += rec.Size
+	}
+	st.ValidSize = int64(off)
+	return st, nil
+}

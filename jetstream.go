@@ -20,6 +20,8 @@ package jetstream
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"jetstream/internal/algo"
@@ -29,6 +31,7 @@ import (
 	"jetstream/internal/obs"
 	"jetstream/internal/stats"
 	"jetstream/internal/stream"
+	"jetstream/internal/wal"
 )
 
 // Re-exported substrate types, so downstream code only imports this package.
@@ -167,6 +170,8 @@ type options struct {
 	watchdog WatchdogConfig
 	observer Observer
 	rebuild  bool
+	walDir   string
+	walOpts  wal.Options
 }
 
 // WithOpt selects the deletion-recovery optimization (default OptDAP).
@@ -230,6 +235,21 @@ func WithGraphRebuild() Option {
 	return func(op *options) { op.rebuild = true }
 }
 
+// WithWAL attaches a durable write-ahead delta log in dir with the default
+// per-batch fsync policy: every applied batch's edge delta is journaled (and
+// synced) before the engine mutates any state, and a baseline snapshot is
+// written to dir on the first batch, so after a crash RecoverFromDir rebuilds
+// exactly the durable prefix of the stream. The directory must not already
+// hold a snapshot — resuming an existing WAL directory goes through
+// RecoverFromDir instead.
+func WithWAL(dir string) Option { return func(op *options) { op.walDir = dir } }
+
+// WithWALOptions is WithWAL with an explicit sync policy, sync interval, or
+// filesystem override (see WALOptions).
+func WithWALOptions(dir string, o WALOptions) Option {
+	return func(op *options) { op.walDir = dir; op.walOpts = o }
+}
+
 // WithWatchdog enables the divergence watchdog: every cfg.Every batches the
 // streaming state is verified against a from-scratch solve (sampled down to
 // cfg.Sample vertices when set), and a deviation beyond cfg.Epsilon triggers
@@ -280,6 +300,14 @@ type System struct {
 	prev    stats.Counters
 	batches uint64
 	init    bool
+
+	// Durability: the write-ahead delta log (nil without WithWAL), its
+	// directory and options, and whether the baseline snapshot covering the
+	// log's floor is already on disk.
+	wal      *wal.Log
+	walDir   string
+	walOpts  wal.Options
+	snapDone bool
 
 	// Observability: every System owns a metrics registry (Metrics,
 	// MetricsHandler work without any option); tr is the WithObserver
@@ -338,7 +366,40 @@ func New(g *Graph, a Algorithm, opts ...Option) (*System, error) {
 	s.latency = s.reg.Histogram("jetstream_batch_latency_ns")
 	s.batchesC = s.reg.Counter("jetstream_batches_total")
 	s.js.Instrument(s.reg, s.tr)
+	if op.walDir != "" {
+		if err := s.attachFreshWAL(op.walDir, op.walOpts); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// attachFreshWAL opens a write-ahead log for a brand-new System. The
+// directory must hold no prior durable history: an existing snapshot means
+// the stream should resume through RecoverFromDir, and journaled records
+// without a snapshot mean the snapshot half of the pair was lost.
+func (s *System) attachFreshWAL(dir string, opts wal.Options) error {
+	fs := opts.FS
+	if fs == nil {
+		fs = wal.OSFS{}
+	}
+	if _, err := fs.ReadFile(filepath.Join(dir, SnapshotName)); err == nil {
+		return fmt.Errorf("jetstream: WAL directory %s already holds a snapshot; resume it with RecoverFromDir or point WithWAL at a fresh directory", dir)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("jetstream: WAL directory %s: %w", dir, err)
+	}
+	l, err := wal.Open(dir, opts)
+	if err != nil {
+		return fmt.Errorf("jetstream: %w", err)
+	}
+	if l.LastSeq() > 0 {
+		_ = l.Close() // refusing anyway; the open error is authoritative
+		return fmt.Errorf("jetstream: WAL directory %s holds journaled batches but no snapshot to replay them onto; recover the snapshot or start a fresh directory", dir)
+	}
+	l.SetFloor(0)
+	l.Instrument(s.reg)
+	s.wal, s.walDir, s.walOpts = l, dir, opts
+	return nil
 }
 
 // delta snapshots the counters consumed since the previous snapshot.
@@ -368,8 +429,18 @@ func (s *System) RunInitial() Result {
 // version. Every batch is validated first: under the Strict policy (default)
 // an invalid update rejects the whole batch with a *BatchError and the state
 // is untouched; under Repair the invalid updates are dropped, counted, and
-// the rest applied. ApplyBatch never panics on caller-supplied input.
+// the rest applied. With WithWAL configured the sanitized delta is journaled
+// durably before the engine mutates any state; a journaling failure rejects
+// the batch with the state untouched. ApplyBatch never panics on
+// caller-supplied input.
 func (s *System) ApplyBatch(b Batch) (Result, error) {
+	return s.applyBatch(b, true)
+}
+
+// applyBatch is ApplyBatch with the journaling step controllable: recovery
+// replays already-journaled batches with journal=false so the log is not
+// re-appended with its own contents.
+func (s *System) applyBatch(b Batch, journal bool) (Result, error) {
 	if !s.init {
 		return Result{}, fmt.Errorf("jetstream: call RunInitial before ApplyBatch")
 	}
@@ -380,6 +451,11 @@ func (s *System) ApplyBatch(b Batch) (Result, error) {
 	clean, issues := s.js.Graph().SanitizeBatch(b)
 	if len(issues) > 0 && s.ingest == Strict {
 		return Result{}, &BatchError{Issues: issues}
+	}
+	if journal && s.wal != nil {
+		if err := s.journal(clean); err != nil {
+			return Result{}, err
+		}
 	}
 	if err := s.js.ApplyBatch(clean); err != nil {
 		return Result{}, fmt.Errorf("jetstream: apply batch: %w", err)
