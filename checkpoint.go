@@ -12,6 +12,7 @@ import (
 	"jetstream/internal/algo"
 	"jetstream/internal/graph"
 	"jetstream/internal/stats"
+	"jetstream/internal/window"
 )
 
 // Checkpoint format: an 8-byte magic, a format version, the payload length,
@@ -52,13 +53,15 @@ func truncErr(format string, args ...any) error {
 // version 3 added the graph-rebuild ablation flag (WithGraphRebuild);
 // version 4 added the write-ahead-log binding (a presence flag and the log
 // position the snapshot covers), making a checkpoint the snapshot half of an
-// incremental (snapshot, log tail) pair — see RecoverFromDir. Restore reads
-// versions 2 through 4. The graph itself is always serialized canonically
-// via Edges(), so the slack layout of an incrementally mutated CSR never
-// leaks into the format: a restored system re-slacks lazily on its first
-// delta batch.
+// incremental (snapshot, log tail) pair — see RecoverFromDir; version 5
+// added the sliding-window section (WithWindow): the TTL and every live
+// edge's insertion epoch, so a restored system expires exactly the epochs an
+// uninterrupted run would. Restore reads versions 2 through 5. The graph
+// itself is always serialized canonically via Edges(), so the slack layout
+// of an incrementally mutated CSR never leaks into the format: a restored
+// system re-slacks lazily on its first delta batch.
 const (
-	ckptVersion    uint32 = 4
+	ckptVersion    uint32 = 5
 	ckptMinVersion uint32 = 2
 )
 
@@ -233,6 +236,21 @@ func (s *System) Checkpoint(w io.Writer) error {
 	// Recovery replays only records past this position.
 	p.u8(boolByte(s.wal != nil))
 	p.u64(s.batches)
+
+	// v5: the sliding window — TTL and the live (src, dst, insertion epoch)
+	// entries in canonical (src,dst) order. The expiry frontier is derived
+	// from the batch count, so it is not serialized.
+	p.u8(boolByte(s.win != nil))
+	if s.win != nil {
+		p.u32(uint32(s.win.TTL()))
+		entries := s.win.Entries()
+		p.u64(uint64(len(entries)))
+		for _, en := range entries {
+			p.u32(uint32(en.Src))
+			p.u32(uint32(en.Dst))
+			p.u64(en.Epoch)
+		}
+	}
 
 	payload := p.buf.Bytes()
 	var hdr ckptWriter
@@ -455,6 +473,50 @@ func Restore(r io.Reader, opts ...Option) (*System, error) {
 			return nil, fmt.Errorf("%w: log position %d disagrees with batch count %d", ErrCorruptCheckpoint, walSeq, batches)
 		}
 	}
+	// v5: the sliding-window section. Entry counts are bounded by the bytes
+	// actually present (16 bytes each) before anything is allocated.
+	var winTTL uint32
+	var winEntries []window.Entry
+	if version >= 5 {
+		hasWin, err := p.u8()
+		if err != nil {
+			return nil, err
+		}
+		if hasWin > 1 {
+			return nil, fmt.Errorf("%w: window flag %d", ErrCorruptCheckpoint, hasWin)
+		}
+		if hasWin == 1 {
+			if winTTL, err = p.u32(); err != nil {
+				return nil, err
+			}
+			nw, err := p.u64()
+			if err != nil {
+				return nil, err
+			}
+			if nw*16 > uint64(len(p.b)) {
+				return nil, fmt.Errorf("%w: %d window entries exceed %d payload bytes left", ErrCorruptCheckpoint, nw, len(p.b))
+			}
+			winEntries = make([]window.Entry, nw)
+			for i := range winEntries {
+				src, err := p.u32()
+				if err != nil {
+					return nil, err
+				}
+				dst, err := p.u32()
+				if err != nil {
+					return nil, err
+				}
+				ep, err := p.u64()
+				if err != nil {
+					return nil, err
+				}
+				winEntries[i] = window.Entry{Src: graph.VertexID(src), Dst: graph.VertexID(dst), Epoch: ep}
+			}
+			if winTTL == 0 {
+				return nil, fmt.Errorf("%w: window TTL 0", ErrCorruptCheckpoint)
+			}
+		}
+	}
 	if len(p.b) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptCheckpoint, len(p.b))
 	}
@@ -507,6 +569,28 @@ func Restore(r io.Reader, opts ...Option) (*System, error) {
 	copy(sys.js.State(), state)
 	if engDep != nil {
 		copy(engDep, dep)
+	}
+	// A recorded window overrides whatever WithWindow (if any) the caller
+	// passed: the ring's ages are state, not configuration. Without a
+	// recorded window, a caller-passed WithWindow stands — New seeded it from
+	// the restored graph, so the window starts at the restored position.
+	if winTTL > 0 {
+		ring, werr := window.FromEntries(int(winTTL), batches, winEntries)
+		if werr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorruptCheckpoint, werr)
+		}
+		sys.win = ring
+		sys.expiredC = sys.reg.Counter("jetstream_window_expired_edges_total")
+	} else if sys.win != nil {
+		// Caller attached a fresh window mid-stream: re-seed it at the
+		// restored batch count so the pre-existing edges live a full TTL from
+		// here (New seeded them at epoch 0, which is batches-old history).
+		ring, werr := window.New(sys.win.TTL())
+		if werr != nil {
+			return nil, fmt.Errorf("jetstream: restore: %w", werr)
+		}
+		ring.Seed(batches, sys.js.Graph().Edges())
+		sys.win = ring
 	}
 	*sys.st = st
 	sys.prev = prev

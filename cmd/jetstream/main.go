@@ -27,7 +27,7 @@ func main() {
 	log.SetPrefix("jetstream: ")
 
 	var (
-		algoName = flag.String("algo", "sssp", "algorithm: sssp, sswp, bfs, cc, pagerank, adsorption")
+		algoName = flag.String("algo", "sssp", "algorithm: sssp, sswp, bfs, cc, wcc, pagerank, adsorption")
 		root     = flag.Uint("root", 0, "root vertex for single-source algorithms")
 		eps      = flag.Float64("eps", 0, "convergence threshold for accumulative algorithms (0 = default)")
 		path     = flag.String("graph", "", "edge-list file (src dst [weight]); empty uses -gen")
@@ -39,6 +39,7 @@ func main() {
 		batch    = flag.Int("batch", 200, "updates per batch")
 		mix      = flag.Float64("mix", 0.7, "insert fraction per batch")
 		optName  = flag.String("opt", "dap", "delete optimization: base, vap, dap")
+		windowT  = flag.Int("window", 0, "sliding-window TTL in batches: edges expire after this many batches (0 = infinite retention)")
 		slices   = flag.Int("slices", 0, "graph slices (0 = automatic)")
 		timing   = flag.Bool("timing", true, "enable the cycle-accurate timing model")
 		verify   = flag.Bool("verify", false, "validate against a from-scratch solver after each batch")
@@ -60,7 +61,7 @@ func main() {
 	}
 	walOpts := jetstream.WALOptions{Sync: syncPolicy, Interval: *walInterval}
 
-	symmetric := *algoName == "cc"
+	symmetric := *algoName == "cc" || *algoName == "wcc"
 
 	var sys *jetstream.System
 	if *resume {
@@ -107,6 +108,9 @@ func main() {
 		if *walDir != "" {
 			opts = append(opts, jetstream.WithWALOptions(*walDir, walOpts))
 		}
+		if *windowT > 0 {
+			opts = append(opts, jetstream.WithWindow(*windowT))
+		}
 		sys, err = jetstream.New(g, a, opts...)
 		if err != nil {
 			log.Fatal(err)
@@ -147,8 +151,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("batch %d (%d ins, %d del): %v (%d cycles, %d events, %d resets)\n",
-			i+1, len(b.Inserts), len(b.Deletes), res.Duration, res.Cycles,
+		expired := ""
+		if sys.Window() > 0 {
+			expired = fmt.Sprintf(", %d expired", res.Expired)
+		}
+		fmt.Printf("batch %d (%d ins, %d del%s): %v (%d cycles, %d events, %d resets)\n",
+			i+1, len(b.Inserts), len(b.Deletes), expired, res.Duration, res.Cycles,
 			res.Stats.EventsProcessed, res.Stats.VerticesReset)
 		if *stats {
 			fmt.Print(res.Stats.Table())

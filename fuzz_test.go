@@ -184,6 +184,123 @@ func FuzzRestore(f *testing.F) {
 	})
 }
 
+// FuzzWindowExpiry drives a windowed system through fuzzed insert/delete
+// interleavings (TTL derived from the input too) and holds it to the rebuild
+// oracle: after every batch the graph must hold exactly the in-window edges an
+// independent per-edge age map predicts, the functional state must verify
+// exactly against a from-scratch solve on that graph, and the system must
+// never panic — under Repair every batch lands, under Strict a dirty batch is
+// rejected with a populated *BatchError and the window untouched.
+func FuzzWindowExpiry(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 0, 1, 0, 2, 5})
+	f.Add([]byte{1, 1, 0, 0, 1, 0})
+	f.Add([]byte{3, 0, 255, 255, 255, 128})
+	f.Add([]byte{2, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0, 240, 127, 1, 0, 0, 9, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ttl := 1
+		if len(data) > 0 {
+			ttl = 1 + int(data[0]%4)
+			data = data[1:]
+		}
+		// Slice the remaining bytes into up to 6 batches so expiry actually
+		// interleaves with the fuzzed updates over several epochs.
+		var batches []Batch
+		for len(data) > 0 && len(batches) < 6 {
+			n := len(data)
+			if n > 16 {
+				n = 16
+			}
+			batches = append(batches, fuzzBatch(data[:n]))
+			data = data[n:]
+		}
+		for len(batches) < ttl+2 {
+			batches = append(batches, Batch{}) // quiet epochs force expiry past the TTL
+		}
+
+		g := RMAT(RMATConfig{Vertices: 64, Edges: 256, Seed: 11})
+		sys, err := New(g, SSSP(0), WithTiming(false), WithIngest(Repair), WithWindow(ttl))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.RunInitial()
+		// Independent oracle: edge → insertion epoch.
+		age := make(map[[2]uint32]uint64, g.NumEdges())
+		for _, e := range g.Edges() {
+			age[[2]uint32{e.Src, e.Dst}] = 0
+		}
+		for i, b := range batches {
+			k := uint64(i + 1)
+			// Mirror the system's sanitize on the pre-batch graph (pure) so
+			// the oracle applies exactly the surviving updates.
+			clean, _ := sys.Graph().SanitizeBatch(b)
+			if _, err := sys.ApplyBatch(b); err != nil {
+				t.Fatalf("Repair rejected batch %d: %v\nbatch: %+v", k, err, b)
+			}
+			for _, e := range clean.Deletes {
+				delete(age, [2]uint32{e.Src, e.Dst})
+			}
+			for key, epoch := range age {
+				if epoch+uint64(ttl) <= k {
+					delete(age, key)
+				}
+			}
+			for _, e := range clean.Inserts {
+				age[[2]uint32{e.Src, e.Dst}] = k
+			}
+			cur := sys.Graph()
+			if cur.NumEdges() != len(age) {
+				t.Fatalf("batch %d: graph holds %d edges, oracle %d\nbatch: %+v", k, cur.NumEdges(), len(age), b)
+			}
+			for key := range age {
+				if _, ok := cur.HasEdge(key[0], key[1]); !ok {
+					t.Fatalf("batch %d: in-window edge (%d,%d) missing\nbatch: %+v", k, key[0], key[1], b)
+				}
+			}
+			if d := sys.Verify(); d != 0 {
+				t.Fatalf("batch %d: state diverged by %v\nbatch: %+v", k, d, b)
+			}
+		}
+
+		// Strict variant: one fuzzed batch against a fresh windowed system —
+		// a rejection must be a populated *BatchError with state and window
+		// both untouched (the next empty batch expires exactly the full
+		// initial graph at the TTL boundary).
+		if len(batches) == 0 {
+			return
+		}
+		strict, err := New(g, SSSP(0), WithTiming(false), WithWindow(ttl))
+		if err != nil {
+			t.Fatal(err)
+		}
+		strict.RunInitial()
+		before := strict.State()
+		if _, err := strict.ApplyBatch(batches[0]); err != nil {
+			var be *BatchError
+			if !errors.As(err, &be) || len(be.Issues) == 0 {
+				t.Fatalf("Strict rejection is not a populated *BatchError: %v", err)
+			}
+			after := strict.State()
+			for i := range before {
+				if before[i] != after[i] {
+					t.Fatalf("Strict rejection mutated state at vertex %d", i)
+				}
+			}
+			expired := uint64(0)
+			for k := 1; k <= ttl; k++ {
+				res, err := strict.ApplyBatch(Batch{})
+				if err != nil {
+					t.Fatalf("post-rejection empty batch %d: %v", k, err)
+				}
+				expired += res.Expired
+			}
+			if expired != uint64(g.NumEdges()) {
+				t.Fatalf("rejection disturbed the window: %d edges expired by the TTL boundary, want %d", expired, g.NumEdges())
+			}
+		}
+	})
+}
+
 // FuzzWALReplay hardens the log reader: arbitrary bytes fed to both Replay
 // (strict: contiguous sequence from the snapshot position) and Scan (any
 // start) must never panic; rejections must wrap wal.ErrCorrupt and a clean

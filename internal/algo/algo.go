@@ -191,6 +191,22 @@ func (a *CC) InitialEventFor(v graph.VertexID, _ *graph.CSR) (float64, bool) {
 	return float64(v), true
 }
 
+// WCC is the windowed connected-components kernel: the same min-label DAIC
+// functions as CC, but with union-find-with-rebuild-on-expiry reference
+// semantics — its golden solver re-derives components by union-find over
+// exactly the in-window edges, so a sliding window that ages out a bridging
+// edge must split the component and the differential harness catches any
+// label that fails to rebuild. The engine-side functions are identical to CC
+// (the DAIC fixpoint does not depend on how the oracle is computed); the
+// distinct kernel exists so windowed deployments and the difftest grid can
+// select the expiry-aware oracle by name.
+type WCC struct{ CC }
+
+// NewWCC returns the windowed Connected Components kernel.
+func NewWCC() *WCC { return &WCC{} }
+
+func (a *WCC) Name() string { return "wcc" }
+
 // ---------------------------------------------------------------------------
 // Accumulative algorithms
 // ---------------------------------------------------------------------------
@@ -292,6 +308,8 @@ func New(name string, root graph.VertexID, eps float64) (Algorithm, error) {
 		return NewBFS(root), nil
 	case "cc":
 		return NewCC(), nil
+	case "wcc":
+		return NewWCC(), nil
 	case "pagerank", "pr":
 		return NewPageRank(eps), nil
 	case "adsorption":
@@ -316,6 +334,8 @@ func Params(a Algorithm) (name string, root graph.VertexID, eps float64, err err
 		return k.Name(), k.Root, 0, nil
 	case *BFS:
 		return k.Name(), k.Root, 0, nil
+	case *WCC:
+		return k.Name(), 0, 0, nil
 	case *CC:
 		return k.Name(), 0, 0, nil
 	case *PageRank:
@@ -342,4 +362,6 @@ func Names() []string {
 
 // NeedsSymmetric reports whether the algorithm's semantics assume an
 // undirected (symmetrized) input graph.
-func NeedsSymmetric(a Algorithm) bool { return a.Name() == "cc" }
+func NeedsSymmetric(a Algorithm) bool {
+	return a.Name() == "cc" || a.Name() == "wcc"
+}

@@ -22,6 +22,8 @@ func Reference(a Algorithm, g *graph.CSR) []float64 {
 		return WidestPath(g, alg.Root)
 	case *BFS:
 		return BFSLevels(g, alg.Root)
+	case *WCC:
+		return UnionFindLabels(g)
 	case *CC:
 		return CCLabels(g)
 	case *PageRank:
@@ -148,6 +150,45 @@ func CCLabels(g *graph.CSR) []float64 {
 				}
 			})
 		}
+	}
+	return label
+}
+
+// UnionFindLabels is the rebuild-on-expiry oracle for the windowed
+// connected-components kernel: components are re-derived cold by union-find
+// over exactly the edges present in the graph (for a windowed system, exactly
+// the in-window edges), and each vertex is labeled with the minimum vertex id
+// of its component. On a symmetric graph this agrees with CCLabels; union-find
+// is used here because a from-scratch rebuild per window slide is the
+// semantics being pinned — a component split by an aged-out bridge must fall
+// apart, which no incremental label raise can express.
+func UnionFindLabels(g *graph.CSR) []float64 {
+	n := g.NumVertices()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	for i, m := 0, g.NumEdges(); i < m; i++ {
+		e := g.EdgeAt(i)
+		ru, rv := find(int32(e.Src)), find(int32(e.Dst))
+		if ru != rv {
+			if ru < rv { // union by min id keeps the root the label-holder
+				parent[rv] = ru
+			} else {
+				parent[ru] = rv
+			}
+		}
+	}
+	label := make([]float64, n)
+	for v := 0; v < n; v++ {
+		label[v] = float64(find(int32(v)))
 	}
 	return label
 }

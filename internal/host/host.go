@@ -31,6 +31,7 @@ import (
 	"jetstream/internal/stats"
 	"jetstream/internal/version"
 	"jetstream/internal/wal"
+	"jetstream/internal/window"
 )
 
 // LinkConfig describes the host-device DMA link.
@@ -86,6 +87,16 @@ type Config struct {
 	// the update feed (zero value: no injection).
 	Fault fault.Config
 
+	// WindowTTL, when > 0, bounds every edge's lifetime to that many batches:
+	// each Stream call synthesizes the aging-based deletion set for the edges
+	// falling out of the sliding window and commits it together with the
+	// user's updates — to the version store and the device alike, so the
+	// recorded history matches the device graph. Expiry is device-local aging
+	// (no DMA is charged for the synthesized deletes); only the user batch is
+	// journaled, and RecoverSession re-derives expiry deterministically
+	// during replay.
+	WindowTTL int
+
 	// WALDir, when set, attaches a durable write-ahead delta log: every
 	// sanitized batch is journaled after its DMA transfer succeeds and before
 	// the version store or the device commit it, so RecoverSession can replay
@@ -127,6 +138,10 @@ type Result struct {
 	Checked    bool    // the divergence watchdog ran after this batch
 	Divergence float64 // deviation the watchdog measured (when Checked)
 	FellBack   bool    // the watchdog triggered a cold-start recompute
+
+	// Expired counts the edges the sliding window aged out of the graph
+	// during this batch (0 unless Config.WindowTTL is set).
+	Expired uint64
 }
 
 // Total returns compute + transfer time.
@@ -143,6 +158,7 @@ type Session struct {
 	st    *stats.Counters
 	inj   *fault.Injector
 	wal   *wal.Log
+	win   *window.Ring
 
 	initialized bool
 	prevCycles  uint64
@@ -204,6 +220,14 @@ func NewSession(base *graph.CSR, a algo.Algorithm, cfg Config) (*Session, error)
 		js:    core.New(base, a, cfg.Accel, st),
 		st:    st,
 		inj:   fault.New(cfg.Fault),
+	}
+	if cfg.WindowTTL > 0 {
+		win, err := window.New(cfg.WindowTTL)
+		if err != nil {
+			return nil, fmt.Errorf("host: %w", err)
+		}
+		win.Seed(0, base.Edges())
+		s.win = win
 	}
 	if cfg.WALDir != "" {
 		l, err := wal.Open(cfg.WALDir, cfg.WAL)
@@ -275,10 +299,18 @@ func RecoverSession(base *graph.CSR, a algo.Algorithm, cfg Config) (*Session, in
 		return nil, 0, fmt.Errorf("host: recover: read log: %w", err)
 	}
 	st, err := wal.Replay(data, 0, func(r wal.Record) error {
-		s.store.AppendLazy(r.Batch)
-		if aerr := s.js.ApplyBatch(r.Batch); aerr != nil {
+		// The journal holds user batches only; the window's synthesized
+		// expiry deletes are deterministic in the stream prefix, so replaying
+		// through the same merge re-derives them exactly.
+		apply, _, merr := s.windowMerge(s.batches+1, r.Batch)
+		if merr != nil {
+			return fmt.Errorf("host: recover: replay batch %d: %w", r.Seq, merr)
+		}
+		s.store.AppendLazy(apply)
+		if aerr := s.js.ApplyBatch(apply); aerr != nil {
 			return fmt.Errorf("host: recover: replay batch %d: %w", r.Seq, aerr)
 		}
+		s.windowCommit(s.batches+1, r.Batch)
 		s.batches++
 		return nil
 	})
@@ -299,6 +331,52 @@ func RecoverSession(base *graph.CSR, a algo.Algorithm, cfg Config) (*Session, in
 // Store exposes the session's version store (e.g. to attach more queries or
 // historical analysis to the same mutation history).
 func (s *Session) Store() *version.Store { return s.store }
+
+// windowMerge stages the sliding-window expiry for the batch that will commit
+// as epoch: it peeks (without advancing the ring) at the keys aging out,
+// excludes pairs the sanitized user batch already deletes, resolves their
+// stored weights, and returns the merged batch with the synthesized deletes
+// ordered ahead of the user's updates. The ring is untouched, so an abort
+// after this point costs nothing; windowCommit performs the mutation once the
+// batch is actually in. With no window configured it returns clean unchanged.
+func (s *Session) windowMerge(epoch uint64, clean graph.Batch) (graph.Batch, uint64, error) {
+	if s.win == nil {
+		return clean, 0, nil
+	}
+	var skip func(window.Key) bool
+	if len(clean.Deletes) > 0 {
+		userDel := make(map[window.Key]struct{}, len(clean.Deletes))
+		for _, e := range clean.Deletes {
+			userDel[window.Key{Src: e.Src, Dst: e.Dst}] = struct{}{}
+		}
+		skip = func(k window.Key) bool { _, ok := userDel[k]; return ok }
+	}
+	expired := s.win.Peek(epoch, skip)
+	if len(expired) == 0 {
+		return clean, 0, nil
+	}
+	g := s.js.Graph()
+	dels := make([]graph.Edge, 0, len(expired)+len(clean.Deletes))
+	for _, k := range expired {
+		w, ok := g.HasEdge(k.Src, k.Dst)
+		if !ok {
+			return graph.Batch{}, 0, fmt.Errorf("host: window: expiring edge (%d,%d) absent from graph version", k.Src, k.Dst)
+		}
+		dels = append(dels, graph.Edge{Src: k.Src, Dst: k.Dst, Weight: w})
+	}
+	return graph.Batch{Deletes: append(dels, clean.Deletes...), Inserts: clean.Inserts}, uint64(len(expired)), nil
+}
+
+// windowCommit advances the ring past epoch and records the sanitized user
+// batch — the mutating half of windowMerge, called only once the merged batch
+// has committed to the store and the device.
+func (s *Session) windowCommit(epoch uint64, clean graph.Batch) {
+	if s.win == nil {
+		return
+	}
+	s.win.Expire(epoch, nil)
+	s.win.Record(epoch, clean)
+}
 
 // dma charges a transfer of n bytes and returns its seconds.
 func (s *Session) dma(n uint64) float64 {
@@ -430,13 +508,22 @@ func (s *Session) Stream(b graph.Batch) (Result, error) {
 		s.st.BatchesRepaired++
 	}
 
+	// Sliding-window expiry is staged (not yet committed) so the transfer can
+	// be sized for the post-expiry footprint. Only the user's updates cross
+	// the wire — aging is device-local — but the swapped CSR reflects the
+	// merged result.
+	apply, expired, err := s.windowMerge(s.batches+1, clean)
+	if err != nil {
+		return Result{Injected: uint64(injected), Repaired: uint64(len(issues))}, err
+	}
+
 	// Transfer first, sized from dimensions alone: the new CSR footprint
 	// depends only on the vertex and surviving edge counts, so an abort here
 	// costs nothing to host or device state.
 	bytes := uint64(clean.Size()) * updateBytes
 	if s.cfg.SwapFullCSR {
 		g := s.js.Graph()
-		e := uint64(g.NumEdges()+len(clean.Inserts)) - uint64(len(clean.Deletes))
+		e := uint64(g.NumEdges()+len(apply.Inserts)) - uint64(len(apply.Deletes))
 		bytes += csrBytesDims(uint64(g.NumVertices()), e, s.cfg.Accel.Engine.VertexBytes)
 	}
 	dmaSecs, retries, err := s.dmaTransfer(bytes)
@@ -462,15 +549,18 @@ func (s *Session) Stream(b graph.Batch) (Result, error) {
 	}
 
 	// Commit: version store first, then the device. Both consume the same
-	// sanitized batch the transfer was sized for. The store records the delta
-	// lazily — the device applies it incrementally below, so materializing a
-	// second full CSR per batch on the host would undo the incremental win;
-	// historical versions rebuild on demand from the recorded deltas.
-	v := s.store.AppendLazy(clean)
+	// merged batch the transfer was sized for — synthesized expiry deletes
+	// included, so the recorded history matches the device graph. The store
+	// records the delta lazily — the device applies it incrementally below, so
+	// materializing a second full CSR per batch on the host would undo the
+	// incremental win; historical versions rebuild on demand from the recorded
+	// deltas.
+	v := s.store.AppendLazy(apply)
 	p0 := s.st.EventsProcessed
-	if err := s.js.ApplyBatch(clean); err != nil {
+	if err := s.js.ApplyBatch(apply); err != nil {
 		return Result{}, err
 	}
+	s.windowCommit(s.batches+1, clean)
 	s.batches++
 	checked, div, fell := s.js.WatchdogCheck(s.cfg.Watchdog, s.batches)
 
@@ -488,6 +578,7 @@ func (s *Session) Stream(b graph.Batch) (Result, error) {
 		Checked:      checked,
 		Divergence:   div,
 		FellBack:     fell,
+		Expired:      expired,
 	}
 	if s.obLatency != nil {
 		s.obLatency.Observe(uint64(r.Total().Nanoseconds()))

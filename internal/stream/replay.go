@@ -1,0 +1,128 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+
+	"jetstream/internal/graph"
+)
+
+// Trace is a recorded update stream: the exact batch sequence a generator (or
+// a live feed) produced, detached from the generator that made it. Recording
+// a run and replaying its trace reproduces the run bit for bit — the
+// reproducibility contract the differential suites and bug reports rely on —
+// and a trace survives serialization, so a failing stream can be checked in
+// as bytes.
+type Trace struct {
+	Batches []graph.Batch
+}
+
+// Record appends a copy of b to the trace (the caller may go on mutating its
+// slices).
+func (t *Trace) Record(b graph.Batch) {
+	var c graph.Batch
+	if len(b.Inserts) > 0 {
+		c.Inserts = append([]graph.Edge(nil), b.Inserts...)
+	}
+	if len(b.Deletes) > 0 {
+		c.Deletes = append([]graph.Edge(nil), b.Deletes...)
+	}
+	t.Batches = append(t.Batches, c)
+}
+
+// RecordFrom drains n batches from next (a Generator.Next, ShapeGen.Next or
+// equivalent closure) against the evolving graph g, recording each batch and
+// applying it so successive draws see the post-batch graph. It returns the
+// final graph version.
+func RecordFrom(g *graph.CSR, n int, next func(*graph.CSR) graph.Batch) (*Trace, *graph.CSR) {
+	t := &Trace{}
+	for i := 0; i < n; i++ {
+		b := next(g)
+		t.Record(b)
+		g = g.MustApply(b)
+	}
+	return t, g
+}
+
+// Trace wire format: magic, batch count, then each batch in the canonical
+// graph codec, closed by a CRC64-ECMA of everything before it. The checksum
+// makes silent truncation or corruption of a checked-in trace a loud decode
+// error instead of a quietly different replay.
+var traceMagic = [8]byte{'J', 'S', 'T', 'R', 'C', '0', '0', '1'}
+
+var traceCRC = crc64.MakeTable(crc64.ECMA)
+
+// ErrCorruptTrace is wrapped by Decode errors: the bytes are not a complete,
+// checksum-valid trace.
+var ErrCorruptTrace = fmt.Errorf("stream: corrupt trace")
+
+// Encode serializes the trace.
+func (t *Trace) Encode() []byte {
+	out := append([]byte(nil), traceMagic[:]...)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(t.Batches)))
+	out = append(out, n[:]...)
+	for _, b := range t.Batches {
+		out = graph.AppendBatch(out, b)
+	}
+	var crc [8]byte
+	binary.LittleEndian.PutUint64(crc[:], crc64.Checksum(out, traceCRC))
+	return append(out, crc[:]...)
+}
+
+// DecodeTrace parses an encoded trace, rejecting damage (bad magic, torn
+// batches, checksum mismatch) with an error wrapping ErrCorruptTrace.
+func DecodeTrace(data []byte) (*Trace, error) {
+	const hdr = len(traceMagic) + 4
+	if len(data) < hdr+8 {
+		return nil, fmt.Errorf("%w: %d bytes, want at least %d", ErrCorruptTrace, len(data), hdr+8)
+	}
+	if string(data[:len(traceMagic)]) != string(traceMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptTrace)
+	}
+	body, tail := data[:len(data)-8], data[len(data)-8:]
+	if crc64.Checksum(body, traceCRC) != binary.LittleEndian.Uint64(tail) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptTrace)
+	}
+	count := binary.LittleEndian.Uint32(data[len(traceMagic):])
+	t := &Trace{}
+	off := hdr
+	for i := uint32(0); i < count; i++ {
+		b, n, err := graph.DecodeBatch(body[off:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: batch %d: %v", ErrCorruptTrace, i, err)
+		}
+		t.Batches = append(t.Batches, b)
+		off += n
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %d batches", ErrCorruptTrace, len(body)-off, count)
+	}
+	return t, nil
+}
+
+// Replayer feeds a trace back with the same Next(g) signature the generators
+// expose, so any consumer of a Generator can consume a recording instead.
+// Past the end it returns empty batches.
+type Replayer struct {
+	t   *Trace
+	pos int
+}
+
+// NewReplayer returns a replayer over t from the first batch.
+func NewReplayer(t *Trace) *Replayer { return &Replayer{t: t} }
+
+// Next returns the next recorded batch. The graph argument is ignored — a
+// trace replays verbatim — and exists to match the generator signature.
+func (r *Replayer) Next(*graph.CSR) graph.Batch {
+	if r.pos >= len(r.t.Batches) {
+		return graph.Batch{}
+	}
+	b := r.t.Batches[r.pos]
+	r.pos++
+	return b
+}
+
+// Remaining reports how many recorded batches are left to replay.
+func (r *Replayer) Remaining() int { return len(r.t.Batches) - r.pos }

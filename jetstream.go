@@ -32,6 +32,7 @@ import (
 	"jetstream/internal/stats"
 	"jetstream/internal/stream"
 	"jetstream/internal/wal"
+	"jetstream/internal/window"
 )
 
 // Re-exported substrate types, so downstream code only imports this package.
@@ -117,6 +118,12 @@ func SSWP(root uint32) Algorithm { return algo.NewSSWP(root) }
 func BFS(root uint32) Algorithm  { return algo.NewBFS(root) }
 func CC() Algorithm              { return algo.NewCC() }
 
+// WCC returns the windowed Connected Components kernel: identical DAIC
+// functions to CC, validated against a union-find rebuild-on-expiry oracle so
+// components split correctly when a sliding window ages out bridging edges.
+// Like CC it requires a symmetric graph.
+func WCC() Algorithm { return algo.NewWCC() }
+
 // PageRank returns the incremental PageRank kernel; eps <= 0 selects the
 // default convergence threshold.
 func PageRank(eps float64) Algorithm { return algo.NewPageRank(eps) }
@@ -129,7 +136,8 @@ func Adsorption(eps float64) Algorithm { return algo.NewAdsorption(eps) }
 // kernels), and new kernel parameters become new fields rather than new
 // positional arguments.
 type AlgorithmSpec struct {
-	// Name is one of "sssp", "sswp", "bfs", "cc", "pagerank", "adsorption".
+	// Name is one of "sssp", "sswp", "bfs", "cc", "wcc", "pagerank",
+	// "adsorption".
 	Name string
 	// Root is the query root for sssp/sswp/bfs.
 	Root uint32
@@ -172,6 +180,7 @@ type options struct {
 	rebuild  bool
 	walDir   string
 	walOpts  wal.Options
+	window   int
 }
 
 // WithOpt selects the deletion-recovery optimization (default OptDAP).
@@ -250,6 +259,23 @@ func WithWALOptions(dir string, o WALOptions) Option {
 	return func(op *options) { op.walDir = dir; op.walOpts = o }
 }
 
+// WithWindow bounds every edge's lifetime to ttlBatches batches — the
+// infinite-window streaming model where the graph holds exactly the edges
+// inserted in the last ttlBatches batches (the initial graph counts as epoch
+// 0 and ages out like any other). On each ApplyBatch the system synthesizes
+// the aging-based deletion batch for the edges whose epoch falls out of the
+// window, merges it with the user's (sanitized) updates, and applies the
+// combined delta through the ordinary slack-based CSR path, so expiry runs
+// through the same deletion-recovery machinery before the functional phase —
+// its cost is O(expired edges), never O(V+E). A user delete of an expiring
+// edge wins (no duplicate); a same-batch delete+insert of a pair refreshes
+// its age. Expired counts surface via Result.Expired and the
+// jetstream_window_expired_edges_total counter. ttlBatches must be at least
+// 1; the window survives Checkpoint/Restore (format v5) and WAL recovery.
+func WithWindow(ttlBatches int) Option {
+	return func(op *options) { op.window = ttlBatches }
+}
+
 // WithWatchdog enables the divergence watchdog: every cfg.Every batches the
 // streaming state is verified against a from-scratch solve (sampled down to
 // cfg.Sample vertices when set), and a deviation beyond cfg.Epsilon triggers
@@ -275,6 +301,10 @@ type Result struct {
 	// Issues details each update the Repair policy dropped from this batch,
 	// in batch order — the deterministic per-batch repair report.
 	Issues []BatchIssue
+	// Expired counts the edges the sliding window aged out in this batch
+	// (always 0 without WithWindow). The synthesized deletions are applied
+	// together with the batch's own updates, before the functional phase.
+	Expired uint64
 	// Checked reports whether the divergence watchdog ran after this batch.
 	Checked bool
 	// Divergence is the deviation the watchdog measured (when Checked).
@@ -308,6 +338,11 @@ type System struct {
 	walDir   string
 	walOpts  wal.Options
 	snapDone bool
+
+	// Sliding window: per-edge insertion ages (nil without WithWindow) and
+	// the cumulative expired-edge counter.
+	win      *window.Ring
+	expiredC *obs.Counter
 
 	// Observability: every System owns a metrics registry (Metrics,
 	// MetricsHandler work without any option); tr is the WithObserver
@@ -366,6 +401,15 @@ func New(g *Graph, a Algorithm, opts ...Option) (*System, error) {
 	s.latency = s.reg.Histogram("jetstream_batch_latency_ns")
 	s.batchesC = s.reg.Counter("jetstream_batches_total")
 	s.js.Instrument(s.reg, s.tr)
+	if op.window != 0 {
+		win, err := window.New(op.window)
+		if err != nil {
+			return nil, fmt.Errorf("%w: WithWindow(%d): ttl must be at least 1 batch", ErrConfigConflict, op.window)
+		}
+		win.Seed(0, g.Edges())
+		s.win = win
+		s.expiredC = s.reg.Counter("jetstream_window_expired_edges_total")
+	}
 	if op.walDir != "" {
 		if err := s.attachFreshWAL(op.walDir, op.walOpts); err != nil {
 			return nil, err
@@ -457,8 +501,21 @@ func (s *System) applyBatch(b Batch, journal bool) (Result, error) {
 			return Result{}, err
 		}
 	}
-	if err := s.js.ApplyBatch(clean); err != nil {
+	// Sliding window: synthesize the aging-based deletion set for this batch
+	// and merge it ahead of the user's updates, so one graph version and one
+	// deletion-recovery phase cover both. Only the user batch was journaled —
+	// recovery re-derives expiry deterministically by replaying through this
+	// same path.
+	apply, expired, err := s.expireInto(clean)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := s.js.ApplyBatch(apply); err != nil {
 		return Result{}, fmt.Errorf("jetstream: apply batch: %w", err)
+	}
+	if s.win != nil {
+		s.win.Record(s.batches+1, clean)
+		s.expiredC.Add(expired)
 	}
 	// Count repairs only after the batch actually applied, so each batch's
 	// Stats delta carries exactly its own dropped-update count (a failed
@@ -472,12 +529,60 @@ func (s *System) applyBatch(b Batch, journal bool) (Result, error) {
 	res := s.delta()
 	res.Repaired = uint64(len(issues))
 	res.Issues = issues
+	res.Expired = expired
 	res.Checked, res.Divergence, res.FellBack = checked, div, fell
 	s.latency.Observe(uint64(res.Duration.Nanoseconds()))
 	s.batchesC.Inc()
 	s.trace(obs.TraceEvent{Kind: obs.KindBatchEnd, A: s.batches,
 		B: res.Stats.EventsProcessed, F: res.Duration.Seconds()})
 	return res, nil
+}
+
+// expireInto computes the window's aging-based deletion set for the next
+// batch and merges it ahead of the sanitized user batch, returning the batch
+// to apply and the expired-edge count. Without a window it returns clean
+// unchanged. The expiry deletes carry the stored edge weights (the same
+// normalization SanitizeBatch performs for user deletes) so value-aware
+// deletion recovery sees the true contributions; they are emitted in
+// ascending (src,dst) order, making the merged batch — and therefore the
+// resulting graph version and state — deterministic across replays.
+func (s *System) expireInto(clean Batch) (Batch, uint64, error) {
+	if s.win == nil {
+		return clean, 0, nil
+	}
+	userDel := make(map[window.Key]bool, len(clean.Deletes))
+	for _, e := range clean.Deletes {
+		userDel[window.Key{Src: e.Src, Dst: e.Dst}] = true
+	}
+	expired := s.win.Expire(s.batches+1, func(k window.Key) bool { return userDel[k] })
+	if len(expired) == 0 {
+		return clean, 0, nil
+	}
+	g := s.js.Graph()
+	merged := Batch{
+		Deletes: make([]Edge, 0, len(expired)+len(clean.Deletes)),
+		Inserts: clean.Inserts,
+	}
+	for _, k := range expired {
+		w, ok := g.HasEdge(k.Src, k.Dst)
+		if !ok {
+			// The ring only tracks live edges; a miss means the ring and the
+			// graph version diverged — state corruption, not caller error.
+			return Batch{}, 0, fmt.Errorf("jetstream: window: expiring edge (%d,%d) absent from graph version", k.Src, k.Dst)
+		}
+		merged.Deletes = append(merged.Deletes, Edge{Src: k.Src, Dst: k.Dst, Weight: w})
+	}
+	merged.Deletes = append(merged.Deletes, clean.Deletes...)
+	return merged, uint64(len(expired)), nil
+}
+
+// Window returns the sliding-window TTL in batches, or 0 when no window is
+// configured.
+func (s *System) Window() int {
+	if s.win == nil {
+		return 0
+	}
+	return s.win.TTL()
 }
 
 // trace emits a System-level trace event with sequencing filled in.

@@ -1,0 +1,88 @@
+package jetstream
+
+// Window cost benchmarks. BenchmarkWindowExpiry is the acceptance check for
+// the O(expired edges) claim: per-batch expiry cost must stay flat as the
+// live edge set (and the ring's epoch count) grows, because Expire touches
+// only the draining buckets — never the whole window. BenchmarkAdversarialShapes
+// measures the full windowed system under each adversarial stream shape.
+
+import (
+	"fmt"
+	"testing"
+
+	"jetstream/internal/graph"
+	"jetstream/internal/stream"
+	"jetstream/internal/window"
+)
+
+// BenchmarkWindowExpiry drives the ring directly in steady state: a fixed
+// 256-edge cohort arrives per epoch and the same-sized cohort expires, while
+// the live set is held at 10k/40k/160k edges by scaling the TTL. Flat ns/op
+// across the sizes is the O(expired) property; expired/op is reported so a
+// regression that silently expires nothing cannot masquerade as fast.
+func BenchmarkWindowExpiry(b *testing.B) {
+	const cohort = 256
+	for _, live := range []int{10_000, 40_000, 160_000} {
+		b.Run(fmt.Sprintf("live%d", live), func(b *testing.B) {
+			ttl := live / cohort
+			r, err := window.New(ttl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nextID := uint32(0)
+			mkBatch := func() graph.Batch {
+				ins := make([]graph.Edge, cohort)
+				for i := range ins {
+					ins[i] = graph.Edge{Src: nextID >> 12, Dst: nextID & 0xfff, Weight: 1}
+					nextID++
+				}
+				return graph.Batch{Inserts: ins}
+			}
+			// Fill the window: one cohort per epoch up to the TTL.
+			epoch := uint64(0)
+			for e := 0; e < ttl; e++ {
+				epoch++
+				r.Expire(epoch, nil)
+				r.Record(epoch, mkBatch())
+			}
+			b.ResetTimer()
+			var expired int
+			for i := 0; i < b.N; i++ {
+				epoch++
+				expired += len(r.Expire(epoch, nil))
+				r.Record(epoch, mkBatch())
+			}
+			b.ReportMetric(float64(expired)/float64(b.N), "expired/op")
+			b.ReportMetric(float64(r.Len()), "live-edges")
+		})
+	}
+}
+
+// BenchmarkAdversarialShapes streams each adversarial shape through a full
+// windowed system (functional engine, sequential) and reports per-batch cost
+// and the average expiry volume the shape provokes.
+func BenchmarkAdversarialShapes(b *testing.B) {
+	for _, kind := range stream.Shapes() {
+		b.Run(kind.String(), func(b *testing.B) {
+			g := RMAT(RMATConfig{Vertices: 2000, Edges: 8000, Seed: 3})
+			sys, err := New(g, SSSP(0), WithTiming(false), WithParallelism(1), WithWindow(4))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.RunInitial()
+			gen := stream.NewShape(stream.ShapeConfig{
+				Kind: kind, BatchSize: 200, MaxWeight: 8, Period: 4, Seed: 9,
+			})
+			b.ResetTimer()
+			var expired uint64
+			for i := 0; i < b.N; i++ {
+				res, err := sys.ApplyBatch(gen.Next(sys.Graph()))
+				if err != nil {
+					b.Fatalf("batch %d: %v", i, err)
+				}
+				expired += res.Expired
+			}
+			b.ReportMetric(float64(expired)/float64(b.N), "expired/op")
+		})
+	}
+}
