@@ -1,0 +1,118 @@
+package jetstream_test
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"jetstream"
+)
+
+// TestAlgorithmSpecJSON drives the wire form of AlgorithmSpec: strict
+// decoding, eager name validation with the typed error, and a lossless
+// marshal/unmarshal round trip.
+func TestAlgorithmSpecJSON(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		want    jetstream.AlgorithmSpec
+		wantErr error  // errors.Is target, nil for success
+		errSub  string // substring the error must carry, "" for any
+	}{
+		{name: "sssp", in: `{"name":"sssp","root":3}`,
+			want: jetstream.AlgorithmSpec{Name: "sssp", Root: 3}},
+		{name: "sswp", in: `{"name":"sswp","root":1}`,
+			want: jetstream.AlgorithmSpec{Name: "sswp", Root: 1}},
+		{name: "bfs", in: `{"name":"bfs"}`,
+			want: jetstream.AlgorithmSpec{Name: "bfs"}},
+		{name: "cc", in: `{"name":"cc"}`,
+			want: jetstream.AlgorithmSpec{Name: "cc"}},
+		{name: "wcc", in: `{"name":"wcc"}`,
+			want: jetstream.AlgorithmSpec{Name: "wcc"}},
+		{name: "pagerank-eps", in: `{"name":"pagerank","eps":1e-9}`,
+			want: jetstream.AlgorithmSpec{Name: "pagerank", Eps: 1e-9}},
+		{name: "pagerank-shorthand", in: `{"name":"pr"}`,
+			want: jetstream.AlgorithmSpec{Name: "pr"}},
+		{name: "adsorption", in: `{"name":"adsorption","eps":0.001}`,
+			want: jetstream.AlgorithmSpec{Name: "adsorption", Eps: 0.001}},
+		{name: "unknown-name", in: `{"name":"dijkstra"}`,
+			wantErr: jetstream.ErrUnknownAlgorithm, errSub: `"dijkstra"`},
+		{name: "empty-name", in: `{"root":4}`,
+			wantErr: jetstream.ErrUnknownAlgorithm},
+		{name: "linsolve-not-wireable", in: `{"name":"linsolve"}`,
+			wantErr: jetstream.ErrUnknownAlgorithm},
+		{name: "unknown-field", in: `{"name":"sssp","source":3}`,
+			errSub: "source"},
+		{name: "wrong-type", in: `{"name":"sssp","root":"three"}`,
+			errSub: "root"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var spec jetstream.AlgorithmSpec
+			err := json.Unmarshal([]byte(tc.in), &spec)
+			if tc.wantErr == nil && tc.errSub == "" {
+				if err != nil {
+					t.Fatalf("unmarshal %s: %v", tc.in, err)
+				}
+				if spec != tc.want {
+					t.Fatalf("got %+v, want %+v", spec, tc.want)
+				}
+				// Round trip: marshal and decode again.
+				blob, merr := json.Marshal(spec)
+				if merr != nil {
+					t.Fatal(merr)
+				}
+				var back jetstream.AlgorithmSpec
+				if err := json.Unmarshal(blob, &back); err != nil {
+					t.Fatalf("re-unmarshal %s: %v", blob, err)
+				}
+				if back != spec {
+					t.Fatalf("round trip %s: got %+v, want %+v", blob, back, spec)
+				}
+				// A wire-valid spec must also resolve to a kernel.
+				if _, aerr := jetstream.NewAlgorithm(spec); aerr != nil {
+					t.Fatalf("NewAlgorithm(%+v): %v", spec, aerr)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("unmarshal %s succeeded, want error", tc.in)
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error %v does not wrap %v", err, tc.wantErr)
+			}
+			if tc.errSub != "" && !strings.Contains(err.Error(), tc.errSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.errSub)
+			}
+		})
+	}
+}
+
+// TestAlgorithmNames pins the declarative name list the service advertises.
+func TestAlgorithmNames(t *testing.T) {
+	want := []string{"sssp", "sswp", "bfs", "cc", "wcc", "pagerank", "adsorption"}
+	got := jetstream.AlgorithmNames()
+	if len(got) != len(want) {
+		t.Fatalf("AlgorithmNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AlgorithmNames() = %v, want %v", got, want)
+		}
+	}
+	for _, n := range got {
+		if _, err := jetstream.NewAlgorithm(jetstream.AlgorithmSpec{Name: n}); err != nil {
+			t.Fatalf("advertised name %q does not construct: %v", n, err)
+		}
+	}
+}
+
+// TestNewAlgorithmUnknown checks the constructor path wraps the same typed
+// error as the JSON path.
+func TestNewAlgorithmUnknown(t *testing.T) {
+	_, err := jetstream.NewAlgorithm(jetstream.AlgorithmSpec{Name: "nope"})
+	if !errors.Is(err, jetstream.ErrUnknownAlgorithm) {
+		t.Fatalf("error %v does not wrap ErrUnknownAlgorithm", err)
+	}
+}

@@ -161,6 +161,17 @@ func (r *ckptReader) str() (string, error) {
 // LinSolve) return an error. Custom accelerator configurations passed via
 // WithAccelerator are not serialized; pass the same option to Restore.
 func (s *System) Checkpoint(w io.Writer) error {
+	if err := s.acquire("Checkpoint"); err != nil {
+		return err
+	}
+	defer s.release()
+	return s.checkpointLocked(w)
+}
+
+// checkpointLocked is Checkpoint without the single-writer guard, for callers
+// already inside a guarded operation — writeSnapshot runs under ApplyBatch's
+// journaling step or under Compact, both of which hold the guard.
+func (s *System) checkpointLocked(w io.Writer) error {
 	if !s.init {
 		return fmt.Errorf("jetstream: cannot checkpoint before RunInitial")
 	}

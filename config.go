@@ -1,0 +1,256 @@
+package jetstream
+
+import (
+	"fmt"
+
+	"jetstream/internal/wal"
+)
+
+// Config is the declarative, plain-data twin of the option list New accepts:
+// every wire-expressible option has exactly one field here, every field
+// round-trips through JSON, and Config.Options / ConfigFromOptions are
+// inverses (an exhaustiveness test enforces that a new Option cannot ship
+// without a Config field or an explicit runtime-only exemption). It exists so
+// a System can be declared over the wire — a service create-tenant request
+// carries {graph, algorithm, config} as data, not code.
+//
+// Enumerated knobs use their command-line spellings ("dap", "strict",
+// "batch") rather than internal integer constants, so a JSON document reads
+// the way the flags do and an out-of-range integer cannot alias a valid
+// level. The zero Config is valid: it selects the library defaults except
+// that Timing is off — the right default for a functional streaming service;
+// DefaultConfig() reproduces the library's constructor defaults exactly
+// (timing on) for callers who want the simulator behavior.
+//
+// Runtime-only options have no Config field by design: WithAccelerator (a
+// struct of hardware parameters, not tenant policy), WithObserver (a live
+// callback), and the WAL filesystem override (fault-injection hook). They
+// remain available to code via New's option list, which Config.Options
+// composes with.
+type Config struct {
+	// Opt selects the deletion-recovery optimization: "base", "vap", or
+	// "dap" ("" = "dap", the library default).
+	Opt string `json:"opt,omitempty"`
+	// Slices partitions the graph into k slices; 0 or 1 disables slicing.
+	Slices int `json:"slices,omitempty"`
+	// Timing enables the cycle-accurate timing model. Unlike New (whose
+	// default is on), the zero Config leaves it off.
+	Timing bool `json:"timing,omitempty"`
+	// DetailedTiming selects the per-event pipeline timing model.
+	DetailedTiming bool `json:"detailed_timing,omitempty"`
+	// Parallelism shards the functional compute phases across p workers;
+	// 0 keeps the engine default.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Ingest is the invalid-update policy: "strict" or "repair"
+	// ("" = "strict").
+	Ingest string `json:"ingest,omitempty"`
+	// RebuildGraph applies every batch by rebuilding the full CSR instead of
+	// the incremental slack-based mutation (see WithGraphRebuild).
+	RebuildGraph bool `json:"rebuild_graph,omitempty"`
+	// WindowTTL bounds every edge's lifetime to this many batches; 0 means
+	// infinite retention (see WithWindow).
+	WindowTTL int `json:"window_ttl,omitempty"`
+
+	// WALDir attaches a write-ahead log in this directory; empty disables
+	// journaling (and the other WAL fields must then be zero).
+	WALDir string `json:"wal_dir,omitempty"`
+	// WALSync is the fsync cadence: "batch", "interval", or "none"
+	// ("" = "batch"). Only meaningful with WALDir set.
+	WALSync string `json:"wal_sync,omitempty"`
+	// WALSyncInterval is the batch count between fsyncs under "interval".
+	WALSyncInterval int `json:"wal_sync_interval,omitempty"`
+
+	// WatchdogEvery runs the divergence watchdog every N batches; 0 disables
+	// it (see WithWatchdog).
+	WatchdogEvery int `json:"watchdog_every,omitempty"`
+	// WatchdogEpsilon is the divergence threshold that triggers fallback.
+	WatchdogEpsilon float64 `json:"watchdog_epsilon,omitempty"`
+	// WatchdogSample caps how many vertices each check verifies; 0 checks all.
+	WatchdogSample int `json:"watchdog_sample,omitempty"`
+}
+
+// DefaultConfig returns the library constructor defaults as data — the exact
+// configuration New applies with no options, timing model included.
+func DefaultConfig() Config { return ConfigFromOptions() }
+
+// optLevelName is the wire spelling of an optimization level.
+func optLevelName(o OptLevel) string {
+	switch o {
+	case OptBase:
+		return "base"
+	case OptVAP:
+		return "vap"
+	default:
+		return "dap"
+	}
+}
+
+// parseOptLevel resolves the wire spelling ("" selects the default).
+func parseOptLevel(name string) (OptLevel, error) {
+	switch name {
+	case "", "dap":
+		return OptDAP, nil
+	case "vap":
+		return OptVAP, nil
+	case "base":
+		return OptBase, nil
+	default:
+		return 0, fmt.Errorf("unknown opt level %q (want base, vap, or dap)", name)
+	}
+}
+
+// parseIngest resolves the wire spelling ("" selects the default).
+func parseIngest(name string) (IngestPolicy, error) {
+	switch name {
+	case "", "strict":
+		return Strict, nil
+	case "repair":
+		return Repair, nil
+	default:
+		return 0, fmt.Errorf("unknown ingest policy %q (want strict or repair)", name)
+	}
+}
+
+// Options lowers the Config to the option list New accepts, so
+// New(g, a, cfg.Options()...) constructs the declared System. Invalid field
+// values (an unknown enum spelling, WAL knobs without WALDir) are not
+// reported here — options cannot fail — but are recorded and surface from
+// New (and from Validate) wrapped in ErrConfigConflict.
+func (c Config) Options() []Option {
+	opts := []Option{
+		func(op *options) {
+			o, err := parseOptLevel(c.Opt)
+			if err != nil {
+				op.fail(fmt.Errorf("config: %w", err))
+				return
+			}
+			op.opt = o
+		},
+		func(op *options) {
+			p, err := parseIngest(c.Ingest)
+			if err != nil {
+				op.fail(fmt.Errorf("config: %w", err))
+				return
+			}
+			op.ingest = p
+		},
+		WithTiming(c.Timing),
+	}
+	// Negative counts are inert to the option setters (they read as "use the
+	// default"), but as wire data they are declarations of nonsense — record
+	// them so New rejects instead of silently ignoring.
+	for _, bad := range []struct {
+		field string
+		v     int
+	}{
+		{"slices", c.Slices}, {"parallelism", c.Parallelism},
+		{"window_ttl", c.WindowTTL}, {"wal_sync_interval", c.WALSyncInterval},
+	} {
+		if bad.v < 0 {
+			field, v := bad.field, bad.v
+			opts = append(opts, func(op *options) {
+				op.fail(fmt.Errorf("config: %s %d must be non-negative", field, v))
+			})
+		}
+	}
+	if c.Slices != 0 {
+		opts = append(opts, WithSlices(c.Slices))
+	}
+	if c.DetailedTiming {
+		opts = append(opts, WithDetailedTiming())
+	}
+	if c.Parallelism != 0 {
+		opts = append(opts, WithParallelism(c.Parallelism))
+	}
+	if c.RebuildGraph {
+		opts = append(opts, WithGraphRebuild())
+	}
+	if c.WindowTTL != 0 {
+		opts = append(opts, WithWindow(c.WindowTTL))
+	}
+	if c.WALDir != "" {
+		dir := c.WALDir
+		sync := c.WALSync
+		interval := c.WALSyncInterval
+		opts = append(opts, func(op *options) {
+			pol, err := wal.ParseSyncPolicy(sync)
+			if err != nil {
+				op.fail(fmt.Errorf("config: %w", err))
+				return
+			}
+			op.walDir = dir
+			op.walOpts.Sync = pol
+			op.walOpts.Interval = interval
+		})
+	} else if c.WALSync != "" || c.WALSyncInterval != 0 {
+		opts = append(opts, func(op *options) {
+			op.fail(fmt.Errorf("config: wal_sync/wal_sync_interval set without wal_dir"))
+		})
+	}
+	if c.WatchdogEvery != 0 || c.WatchdogEpsilon != 0 || c.WatchdogSample != 0 {
+		opts = append(opts, WithWatchdog(WatchdogConfig{
+			Every:   c.WatchdogEvery,
+			Epsilon: c.WatchdogEpsilon,
+			Sample:  c.WatchdogSample,
+		}))
+	}
+	return opts
+}
+
+// ConfigFromOptions raises an option list back to its declarative form: the
+// Config describing exactly the System New would build from opts. The result
+// is canonical — enum fields carry their explicit spellings ("dap",
+// "strict"), never "" — so ConfigFromOptions(cfg.Options()...) is a fixed
+// point and two option lists describing the same System compare equal as
+// Configs. Runtime-only options (WithAccelerator, WithObserver, a WAL FS
+// override) have no data representation and are dropped.
+func ConfigFromOptions(opts ...Option) Config {
+	op := newOptions()
+	for _, o := range opts {
+		o(op)
+	}
+	cfg := Config{
+		Opt:             optLevelName(op.opt),
+		Slices:          op.slices,
+		Timing:          op.timing,
+		DetailedTiming:  op.detailed,
+		Parallelism:     op.parallel,
+		Ingest:          op.ingest.String(),
+		RebuildGraph:    op.rebuild,
+		WindowTTL:       op.window,
+		WatchdogEvery:   op.watchdog.Every,
+		WatchdogEpsilon: op.watchdog.Epsilon,
+		WatchdogSample:  op.watchdog.Sample,
+	}
+	if op.walDir != "" {
+		cfg.WALDir = op.walDir
+		cfg.WALSync = op.walOpts.Sync.String()
+		cfg.WALSyncInterval = op.walOpts.Interval
+	}
+	return cfg
+}
+
+// Validate reports whether the Config can construct a System, without
+// building one: it catches bad enum spellings, orphaned WAL knobs, and the
+// option conflicts New itself enforces (parallelism vs timing/slices,
+// negative window TTL). Services use it to turn a bad tenant declaration
+// into a 4xx before any allocation happens. The returned error wraps
+// ErrConfigConflict.
+func (c Config) Validate() error {
+	op := newOptions()
+	for _, o := range c.Options() {
+		o(op)
+	}
+	if op.err != nil {
+		return fmt.Errorf("%w: %w", ErrConfigConflict, op.err)
+	}
+	if op.parallel > 1 {
+		if op.timing {
+			return fmt.Errorf("%w: parallelism %d requires the timing model off", ErrConfigConflict, op.parallel)
+		}
+		if op.slices > 1 {
+			return fmt.Errorf("%w: parallelism %d cannot be combined with %d slices", ErrConfigConflict, op.parallel, op.slices)
+		}
+	}
+	return nil
+}

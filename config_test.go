@@ -1,0 +1,255 @@
+package jetstream
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+	"unsafe"
+)
+
+// applyOptions runs opts over a fresh default options struct.
+func applyOptions(opts []Option) *options {
+	op := newOptions()
+	for _, o := range opts {
+		o(op)
+	}
+	return op
+}
+
+// fieldIface reads a (possibly unexported) struct field as an interface
+// value, so the test can diff internal options fields without hand-listing
+// them — the hand-list is exactly what exhaustiveness must not depend on.
+func fieldIface(v reflect.Value) any {
+	return reflect.NewAt(v.Type(), unsafe.Pointer(v.UnsafeAddr())).Elem().Interface()
+}
+
+// changedOptionFields reports which options-struct fields differ from the
+// construction defaults after applying opts.
+func changedOptionFields(opts []Option) map[string]bool {
+	def := reflect.ValueOf(newOptions()).Elem()
+	got := reflect.ValueOf(applyOptions(opts)).Elem()
+	changed := map[string]bool{}
+	for i := 0; i < def.NumField(); i++ {
+		if !reflect.DeepEqual(fieldIface(def.Field(i)), fieldIface(got.Field(i))) {
+			changed[def.Type().Field(i).Name] = true
+		}
+	}
+	return changed
+}
+
+// configOptionCases pairs every exported wire-expressible option with a use
+// that changes its options field away from the default. The exhaustiveness
+// test below fails if the internal options struct grows a field no case
+// (and therefore no Config mapping) covers.
+var configOptionCases = []struct {
+	name string
+	opts []Option
+}{
+	{"defaults", nil},
+	{"opt-base", []Option{WithOpt(OptBase)}},
+	{"opt-vap", []Option{WithOpt(OptVAP)}},
+	{"slices", []Option{WithSlices(4)}},
+	{"timing-off", []Option{WithTiming(false)}},
+	{"detailed-timing", []Option{WithDetailedTiming()}},
+	{"parallelism", []Option{WithTiming(false), WithParallelism(4)}},
+	{"ingest-repair", []Option{WithIngest(Repair)}},
+	{"rebuild", []Option{WithGraphRebuild()}},
+	{"window", []Option{WithWindow(7)}},
+	{"wal", []Option{WithWAL("walsubdir")}},
+	{"wal-options", []Option{WithWALOptions("walsubdir", WALOptions{Sync: WALSyncInterval, Interval: 3})}},
+	{"watchdog", []Option{WithWatchdog(WatchdogConfig{Every: 5, Epsilon: 1e-6, Sample: 100})}},
+	{"kitchen-sink", []Option{
+		WithOpt(OptVAP), WithSlices(2), WithTiming(false), WithIngest(Repair),
+		WithGraphRebuild(), WithWindow(3),
+		WithWALOptions("walsubdir", WALOptions{Sync: WALSyncNone, Interval: 9}),
+		WithWatchdog(WatchdogConfig{Every: 2, Epsilon: 0.5, Sample: 10}),
+	}},
+}
+
+// runtimeOnlyOptionFields are internal options fields deliberately absent
+// from Config: live callbacks, hardware structs, fault-injection hooks, and
+// the deferred-error slot itself. Adding a field here requires a doc-comment
+// justification on Config; anything else must get a Config field and a case
+// above or this test fails.
+var runtimeOnlyOptionFields = map[string]bool{
+	"accel":    true, // WithAccelerator: hardware model, not tenant policy
+	"observer": true, // WithObserver: a live callback, not data
+	"err":      true, // deferred construction failure, not configuration
+}
+
+// TestConfigRoundTrip checks, for every case, that lowering to options and
+// re-raising to Config is lossless in both directions, that the canonical
+// Config is a fixed point, and that JSON round-trips it bit for bit.
+func TestConfigRoundTrip(t *testing.T) {
+	for _, tc := range configOptionCases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := applyOptions(tc.opts)
+			cfg := ConfigFromOptions(tc.opts...)
+
+			// Options-level equivalence: the Config's option list rebuilds the
+			// exact internal options the original list built.
+			again := applyOptions(cfg.Options())
+			if !reflect.DeepEqual(base, again) {
+				t.Fatalf("options differ after Config round trip:\n  direct: %+v\n  via Config %+v: %+v", base, cfg, again)
+			}
+			if again.err != nil {
+				t.Fatalf("canonical Config produced an option error: %v", again.err)
+			}
+
+			// Canonical fixed point.
+			if got := ConfigFromOptions(cfg.Options()...); got != cfg {
+				t.Fatalf("ConfigFromOptions(cfg.Options()) = %+v, want %+v", got, cfg)
+			}
+
+			// JSON round trip.
+			blob, err := json.Marshal(cfg)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var back Config
+			if err := json.Unmarshal(blob, &back); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if back != cfg {
+				t.Fatalf("JSON round trip: got %+v, want %+v (json %s)", back, cfg, blob)
+			}
+
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("Validate(%+v) = %v, want nil", cfg, err)
+			}
+		})
+	}
+}
+
+// TestConfigCoversEveryOption is the exhaustiveness gate: the union of
+// options-struct fields exercised by configOptionCases must be every field
+// except the documented runtime-only set. A new Option lands a new options
+// field; without a Config mapping and a case here, this test names it.
+func TestConfigCoversEveryOption(t *testing.T) {
+	covered := map[string]bool{}
+	for _, tc := range configOptionCases {
+		for f := range changedOptionFields(tc.opts) {
+			covered[f] = true
+		}
+	}
+	typ := reflect.TypeOf(options{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if runtimeOnlyOptionFields[name] {
+			if covered[name] {
+				t.Errorf("options field %q is marked runtime-only but a config case changes it", name)
+			}
+			continue
+		}
+		if !covered[name] {
+			t.Errorf("options field %q has no Config mapping exercised by configOptionCases; add a Config field and a case (or document it in runtimeOnlyOptionFields)", name)
+		}
+	}
+
+	// The reverse direction: every Config field must be moved off its zero
+	// value by at least one case, so a dead Config field cannot linger.
+	zero := Config{}
+	moved := map[string]bool{}
+	for _, tc := range configOptionCases {
+		cfg := ConfigFromOptions(tc.opts...)
+		cv, zv := reflect.ValueOf(cfg), reflect.ValueOf(zero)
+		for i := 0; i < cv.NumField(); i++ {
+			if !reflect.DeepEqual(cv.Field(i).Interface(), zv.Field(i).Interface()) {
+				moved[cv.Type().Field(i).Name] = true
+			}
+		}
+	}
+	ct := reflect.TypeOf(zero)
+	for i := 0; i < ct.NumField(); i++ {
+		if name := ct.Field(i).Name; !moved[name] {
+			t.Errorf("Config field %q is never produced by any case; add one to configOptionCases", name)
+		}
+	}
+}
+
+// TestConfigDefaults pins the two default shapes: DefaultConfig is the
+// library constructor default (timing on), and the zero Config is the
+// serving default (timing off), both valid and canonical.
+func TestConfigDefaults(t *testing.T) {
+	def := DefaultConfig()
+	want := Config{Opt: "dap", Timing: true, Ingest: "strict"}
+	if def != want {
+		t.Fatalf("DefaultConfig() = %+v, want %+v", def, want)
+	}
+	var zero Config
+	if err := zero.Validate(); err != nil {
+		t.Fatalf("zero Config must validate: %v", err)
+	}
+	canon := ConfigFromOptions(zero.Options()...)
+	if canon.Timing {
+		t.Fatalf("zero Config must leave timing off, got %+v", canon)
+	}
+}
+
+// TestConfigInvalid checks that bad wire values are rejected — by Validate
+// directly and by New via the deferred option error — always wrapping
+// ErrConfigConflict.
+func TestConfigInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"bad-opt", Config{Opt: "turbo"}},
+		{"bad-ingest", Config{Ingest: "yolo"}},
+		{"bad-wal-sync", Config{WALDir: "w", WALSync: "sometimes"}},
+		{"wal-knobs-without-dir", Config{WALSync: "batch", WALSyncInterval: 4}},
+		{"parallel-with-timing", Config{Timing: true, Parallelism: 4}},
+		{"parallel-with-slices", Config{Parallelism: 4, Slices: 2}},
+		{"negative-window", Config{WindowTTL: -1}},
+		{"negative-slices", Config{Slices: -2}},
+		{"negative-parallelism", Config{Parallelism: -3}},
+	}
+	g := RMAT(RMATConfig{Vertices: 16, Edges: 32, Seed: 1})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate(%+v) = nil, want error", tc.cfg)
+			}
+			if !errors.Is(err, ErrConfigConflict) {
+				t.Fatalf("Validate error %v does not wrap ErrConfigConflict", err)
+			}
+			if _, nerr := New(g, SSSP(0), tc.cfg.Options()...); nerr == nil {
+				t.Fatalf("New with invalid config %+v succeeded", tc.cfg)
+			}
+		})
+	}
+}
+
+// TestConfigConstructsSystem drives the declarative path end to end: a
+// System declared purely from data must behave identically to one built from
+// hand-written options.
+func TestConfigConstructsSystem(t *testing.T) {
+	g := RMAT(RMATConfig{Vertices: 64, Edges: 256, Seed: 7})
+	cfg := Config{Ingest: "repair", WindowTTL: 4}
+	declared, err := New(g, SSSP(0), cfg.Options()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, err := New(g, SSSP(0), WithTiming(false), WithIngest(Repair), WithWindow(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared.RunInitial()
+	manual.RunInitial()
+	gen := NewStream(StreamConfig{BatchSize: 32, InsertFrac: 0.7, Seed: 11})
+	for i := 0; i < 5; i++ {
+		b := gen.Next(declared.Graph())
+		if _, err := declared.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := manual.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, ms := declared.State(), manual.State()
+	if !reflect.DeepEqual(ds, ms) {
+		t.Fatalf("declared and manual systems diverged")
+	}
+}

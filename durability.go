@@ -79,7 +79,7 @@ func (s *System) walFS() wal.FS {
 // with the System's current state.
 func (s *System) writeSnapshot() error {
 	return wal.WriteFileAtomic(s.walFS(), filepath.Join(s.walDir, SnapshotName), func(w io.Writer) error {
-		return s.Checkpoint(w)
+		return s.checkpointLocked(w)
 	})
 }
 
@@ -105,6 +105,10 @@ func (s *System) Sync() error {
 	if s.wal == nil {
 		return nil
 	}
+	if err := s.acquire("Sync"); err != nil {
+		return err
+	}
+	defer s.release()
 	if err := s.wal.Sync(); err != nil {
 		return fmt.Errorf("jetstream: %w", err)
 	}
@@ -123,6 +127,10 @@ func (s *System) Compact() error {
 	if !s.init {
 		return fmt.Errorf("jetstream: compact: call RunInitial first")
 	}
+	if err := s.acquire("Compact"); err != nil {
+		return err
+	}
+	defer s.release()
 	if err := s.writeSnapshot(); err != nil {
 		return fmt.Errorf("jetstream: compact: %w", err)
 	}
@@ -141,6 +149,10 @@ func (s *System) Close() error {
 	if s.wal == nil {
 		return nil
 	}
+	if err := s.acquire("Close"); err != nil {
+		return err
+	}
+	defer s.release()
 	err := s.wal.Close()
 	s.wal = nil
 	if err != nil {

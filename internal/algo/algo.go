@@ -7,12 +7,40 @@
 package algo
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"jetstream/internal/event"
 	"jetstream/internal/graph"
 )
+
+// ErrUnknown is wrapped by New (and by everything that validates algorithm
+// names, e.g. AlgorithmSpec JSON decoding) when a name resolves to no kernel.
+// Match it with errors.Is.
+var ErrUnknown = errors.New("unknown algorithm")
+
+// SpecNames lists the kernels a declarative AlgorithmSpec may name, in a
+// stable order. "linsolve" is deliberately absent: its coefficient matrix
+// cannot be carried by a plain-data spec, so it is constructible only through
+// code.
+func SpecNames() []string {
+	return []string{"sssp", "sswp", "bfs", "cc", "wcc", "pagerank", "adsorption"}
+}
+
+// ValidSpecName reports whether name is usable in a declarative spec
+// (see SpecNames; the "pr" shorthand for pagerank is accepted too).
+func ValidSpecName(name string) bool {
+	if name == "pr" {
+		return true
+	}
+	for _, n := range SpecNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
 
 // Class splits the algorithms by their update function, which decides how
 // JetStream recovers from edge deletions (§3.5): selective algorithms need
@@ -317,7 +345,7 @@ func New(name string, root graph.VertexID, eps float64) (Algorithm, error) {
 	case "linsolve":
 		return NewLinSolve(nil, eps), nil
 	default:
-		return nil, fmt.Errorf("algo: unknown algorithm %q", name)
+		return nil, fmt.Errorf("algo: %w %q", ErrUnknown, name)
 	}
 }
 

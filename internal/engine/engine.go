@@ -37,8 +37,12 @@ type Engine struct {
 	csr  *graph.CSR // backing CSR of the active view (for edge offsets)
 	view GraphView
 
-	state []float64
-	dep   []graph.VertexID // dependency field per vertex (DAP, §5.2); nil unless tracking
+	// state and dep are materialized lazily on first use (see materialize):
+	// constructing an Engine is O(1) in the vertex count, so a service can
+	// hold thousands of idle standing queries without paying O(V) each.
+	state   []float64
+	dep     []graph.VertexID // dependency field per vertex (DAP, §5.2); nil unless tracking
+	wantDep bool             // WithDependencyTracking requested; dep allocated at materialize
 
 	q  *queue.Coalescing
 	st *stats.Counters
@@ -73,15 +77,11 @@ type Engine struct {
 // Option configures an Engine.
 type Option func(*Engine)
 
-// WithDependencyTracking allocates the per-vertex dependency field used by
-// the DAP optimization.
+// WithDependencyTracking enables the per-vertex dependency field used by
+// the DAP optimization; the field itself is allocated with the state at
+// first use.
 func WithDependencyTracking() Option {
-	return func(e *Engine) {
-		e.dep = make([]graph.VertexID, e.csr.NumVertices())
-		for i := range e.dep {
-			e.dep[i] = event.NoSource
-		}
-	}
+	return func(e *Engine) { e.wantDep = true }
 }
 
 // WithPartition slices the vertex space into k parts processed one at a
@@ -103,12 +103,11 @@ func New(g *graph.CSR, alg algo.Algorithm, cfg Config, st *stats.Counters, opts 
 		st = &stats.Counters{}
 	}
 	e := &Engine{
-		cfg:   cfg,
-		alg:   alg,
-		csr:   g,
-		view:  g,
-		state: make([]float64, g.NumVertices()),
-		st:    st,
+		cfg:  cfg,
+		alg:  alg,
+		csr:  g,
+		view: g,
+		st:   st,
 	}
 	e.q = queue.New(g.NumVertices(), cfg.Queue, queue.ReduceCoalesce(alg.Reduce), st)
 	if cfg.Timing {
@@ -118,13 +117,32 @@ func New(g *graph.CSR, alg algo.Algorithm, cfg Config, st *stats.Counters, opts 
 			e.tm = NewTiming(cfg, st)
 		}
 	}
-	for i := range e.state {
-		e.state[i] = alg.Identity()
-	}
 	for _, o := range opts {
 		o(e)
 	}
 	return e
+}
+
+// materialize allocates the per-vertex state (and, when requested, the
+// dependency field) on first touch, filled with the kernel's identity. Every
+// path that reads or writes vertex state goes through it, so an Engine that
+// never runs never allocates O(V).
+func (e *Engine) materialize() {
+	if e.state != nil {
+		return
+	}
+	n := e.csr.NumVertices()
+	id := e.alg.Identity()
+	e.state = make([]float64, n)
+	for i := range e.state {
+		e.state[i] = id
+	}
+	if e.wantDep {
+		e.dep = make([]graph.VertexID, n)
+		for i := range e.dep {
+			e.dep[i] = event.NoSource
+		}
+	}
 }
 
 // Config returns the engine's configuration.
@@ -146,10 +164,16 @@ func (e *Engine) Timing() CycleModel { return e.tm }
 func (e *Engine) CSR() *graph.CSR { return e.csr }
 
 // State returns the live vertex-state slice (not a copy).
-func (e *Engine) State() []float64 { return e.state }
+func (e *Engine) State() []float64 {
+	e.materialize()
+	return e.state
+}
 
 // Dep returns the dependency fields (nil unless DAP tracking is on).
-func (e *Engine) Dep() []graph.VertexID { return e.dep }
+func (e *Engine) Dep() []graph.VertexID {
+	e.materialize()
+	return e.dep
+}
 
 // Cycles returns accumulated cycles (0 with timing off).
 func (e *Engine) Cycles() uint64 {
@@ -163,7 +187,7 @@ func (e *Engine) Cycles() uint64 {
 // pointer swap, §4.7). Vertex count must be unchanged; vertex state is
 // retained — that is the whole point of streaming evaluation.
 func (e *Engine) SetGraph(csr *graph.CSR, view GraphView) {
-	if csr.NumVertices() != len(e.state) {
+	if csr.NumVertices() != e.csr.NumVertices() {
 		panic("engine: graph version changed vertex count")
 	}
 	e.csr = csr
@@ -179,6 +203,7 @@ func (e *Engine) View() GraphView { return e.view }
 
 // ReadVertex reads v's state through the scratchpad, counting the access.
 func (e *Engine) ReadVertex(v graph.VertexID) float64 {
+	e.materialize()
 	e.st.VertexReads++
 	e.batchTouched = append(e.batchTouched, v)
 	return e.state[v]
@@ -186,10 +211,14 @@ func (e *Engine) ReadVertex(v graph.VertexID) float64 {
 
 // PeekVertex reads v's state without charging an access — for decisions the
 // hardware makes on data already in the event payload or scratchpad.
-func (e *Engine) PeekVertex(v graph.VertexID) float64 { return e.state[v] }
+func (e *Engine) PeekVertex(v graph.VertexID) float64 {
+	e.materialize()
+	return e.state[v]
+}
 
 // WriteVertex updates v's state, counting the write-back.
 func (e *Engine) WriteVertex(v graph.VertexID, x float64) {
+	e.materialize()
 	e.st.VertexWrites++
 	e.batchWritten++
 	e.state[v] = x
@@ -197,9 +226,11 @@ func (e *Engine) WriteVertex(v graph.VertexID, x float64) {
 
 // SetDep records v's dependency source (no-op unless tracking).
 func (e *Engine) SetDep(v, src graph.VertexID) {
-	if e.dep != nil {
-		e.dep[v] = src
+	if !e.wantDep {
+		return
 	}
+	e.materialize()
+	e.dep[v] = src
 }
 
 // Emit inserts ev into the event queue, or spills it to the pending list of
@@ -426,6 +457,7 @@ func (e *Engine) SeedInitialEvents() {
 // ResetState returns every vertex to Identity and clears dependencies; used
 // for cold starts.
 func (e *Engine) ResetState() {
+	e.materialize()
 	for i := range e.state {
 		e.state[i] = e.alg.Identity()
 	}

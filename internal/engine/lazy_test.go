@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"testing"
+
+	"jetstream/internal/algo"
+	"jetstream/internal/graph"
+)
+
+func lazyTestGraph(t *testing.T) *graph.CSR {
+	t.Helper()
+	g, err := graph.Build(64, []graph.Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 2},
+		{Src: 2, Dst: 3, Weight: 3}, {Src: 0, Dst: 4, Weight: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestLazyConstruction pins the tenancy contract: building an Engine
+// allocates no per-vertex arrays; the first state touch does. A service
+// holding thousands of idle standing queries depends on this.
+func TestLazyConstruction(t *testing.T) {
+	g := lazyTestGraph(t)
+	e := New(g, algo.NewSSSP(0), testConfig(false), nil, WithDependencyTracking())
+	if e.state != nil {
+		t.Fatal("state allocated at construction")
+	}
+	if e.dep != nil {
+		t.Fatal("dep allocated at construction")
+	}
+	if !e.wantDep {
+		t.Fatal("WithDependencyTracking did not request tracking")
+	}
+
+	// Pre-materialization operations that must not allocate state: graph
+	// swaps (the vertex-count check reads the CSR, not the state).
+	e.SetGraph(g, nil)
+	if e.state != nil {
+		t.Fatal("SetGraph materialized state")
+	}
+
+	// First touch materializes both arrays, identity-filled.
+	st := e.State()
+	if len(st) != g.NumVertices() {
+		t.Fatalf("state length %d, want %d", len(st), g.NumVertices())
+	}
+	id := algo.NewSSSP(0).Identity()
+	for v, x := range st {
+		if x != id {
+			t.Fatalf("state[%d] = %v, want identity %v", v, x, id)
+		}
+	}
+	if e.dep == nil {
+		t.Fatal("dep not materialized with state")
+	}
+}
+
+// TestLazyMatchesEager checks a lazily-materialized engine converges to the
+// same fixpoint as one driven immediately — materialization must be
+// invisible to results.
+func TestLazyMatchesEager(t *testing.T) {
+	g := lazyTestGraph(t)
+
+	lazy := New(g, algo.NewSSSP(0), testConfig(false), nil)
+	// Idle period: accessors that must not disturb the eventual run.
+	_ = lazy.Queue().Len()
+	_ = lazy.Queue().Rows()
+	if lazy.Queue().HighWater() != 0 {
+		t.Fatal("idle queue has a high-water mark")
+	}
+	lazy.RunToConvergence()
+
+	eager := New(g, algo.NewSSSP(0), testConfig(false), nil)
+	eager.RunToConvergence()
+
+	ls, es := lazy.State(), eager.State()
+	for v := range es {
+		if ls[v] != es[v] {
+			t.Fatalf("state[%d]: lazy %v, eager %v", v, ls[v], es[v])
+		}
+	}
+}

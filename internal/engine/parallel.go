@@ -112,6 +112,7 @@ func (e *Engine) parallelism() int {
 // Parallelism workers when the configuration allows it and sequentially
 // otherwise. Parallelism 1 is byte-for-byte the sequential engine.
 func (e *Engine) RunCompute() {
+	e.materialize()
 	if p := e.parallelism(); p > 1 {
 		e.runComputeParallel(p)
 		return

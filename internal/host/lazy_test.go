@@ -1,0 +1,59 @@
+package host
+
+import (
+	"runtime"
+	"testing"
+
+	"jetstream/internal/algo"
+	"jetstream/internal/graph"
+)
+
+// TestSessionConstructionCheap pins the multi-tenant contract: constructing a
+// Session performs no per-vertex work — engine state, dependency arrays, and
+// queue slots all materialize lazily on first use — so a server can declare
+// thousands of sessions over large graphs and pay only for the ones that
+// stream. 2000 sessions over a shared 100k-vertex graph would cost >1.6 GB
+// with eager per-vertex state (100k vertices x 8 B x 2000, before dep arrays
+// and queue slots); the lazy path must stay under a small constant budget.
+func TestSessionConstructionCheap(t *testing.T) {
+	g := graph.RMAT(graph.RMATConfig{Vertices: 100_000, Edges: 200_000, Seed: 1})
+	cfg := DefaultConfig()
+
+	const sessions = 2000
+	keep := make([]*Session, 0, sessions)
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	for i := 0; i < sessions; i++ {
+		s, err := NewSession(g, algo.NewSSSP(0), cfg)
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		keep = append(keep, s)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	// Generous ceiling: ~32 KB per dormant session covers the fixed structs
+	// with headroom while staying two orders of magnitude below the eager
+	// per-vertex cost.
+	const budget = sessions * 32 << 10
+	if used := after.HeapAlloc - before.HeapAlloc; used > budget {
+		t.Fatalf("%d dormant sessions hold %d bytes, budget %d: construction is no longer O(1) in vertex count",
+			sessions, used, budget)
+	}
+
+	// The sessions must still be fully functional after dormancy.
+	if _, err := keep[0].Initialize(); err != nil {
+		t.Fatalf("initialize after dormancy: %v", err)
+	}
+	st, _ := keep[0].ReadBack()
+	if len(st) != g.NumVertices() {
+		t.Fatalf("state has %d vertices, want %d", len(st), g.NumVertices())
+	}
+	runtime.KeepAlive(keep)
+}

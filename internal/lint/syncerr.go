@@ -7,7 +7,9 @@ import (
 
 // Syncerr forbids silently discarding the error of a Close or Sync call in
 // the durability-bearing packages: the module root package (checkpoint and
-// WAL plumbing), internal/wal, and cmd/jetstream. A dropped fsync or close
+// WAL plumbing), internal/wal, internal/service (tenant shutdown and
+// recovery), and the cmd/jetstream and cmd/jetstreamd binaries. A dropped
+// fsync or close
 // error is a dropped durability guarantee — the kernel reports a failed
 // flush exactly once, through that return value, and a caller that ignores
 // it will happily acknowledge batches that never reached stable storage.
@@ -25,9 +27,11 @@ var Syncerr = &Analyzer{
 
 func runSyncerr(pass *Pass) {
 	targets := map[string]bool{
-		pass.Mod.Path:                    true,
-		pass.Mod.Path + "/internal/wal":  true,
-		pass.Mod.Path + "/cmd/jetstream": true,
+		pass.Mod.Path:                       true,
+		pass.Mod.Path + "/internal/wal":     true,
+		pass.Mod.Path + "/internal/service": true,
+		pass.Mod.Path + "/cmd/jetstream":    true,
+		pass.Mod.Path + "/cmd/jetstreamd":   true,
 	}
 	for _, pkg := range pass.Mod.Pkgs {
 		if !targets[pkg.Path] {

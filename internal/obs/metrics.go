@@ -130,6 +130,39 @@ type HistogramSnapshot struct {
 	Buckets []Bucket
 }
 
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1) of the
+// observations: the inclusive upper edge of the log-2 bucket the quantile
+// falls in — within 2x of the true value, which is what a latency p50/p99
+// report needs. Returns 0 for an empty snapshot; q outside [0,1] is clamped.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	total := uint64(0)
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the observation at the quantile.
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	seen := uint64(0)
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			return b.Upper
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Upper
+}
+
 // Snapshot copies the histogram. Taken while writers are active it is a
 // consistent-enough view: each bucket is read atomically, and Count is read
 // first so Count <= sum of bucket counts can transiently hold, never the

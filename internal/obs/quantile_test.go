@@ -1,0 +1,34 @@
+package obs
+
+import "testing"
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %d, want 0", got)
+	}
+	// 90 fast observations (value 3 -> bucket upper 3), 10 slow (value 1000
+	// -> bucket upper 1023): p50 must report the fast bucket, p99 the slow.
+	for i := 0; i < 90; i++ {
+		h.Observe(3)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 3 {
+		t.Fatalf("p50 = %d, want 3", got)
+	}
+	if got := s.Quantile(0.99); got != 1023 {
+		t.Fatalf("p99 = %d, want 1023", got)
+	}
+	if got := s.Quantile(0); got != 3 {
+		t.Fatalf("p0 = %d, want 3 (first non-empty bucket)", got)
+	}
+	if got := s.Quantile(1); got != 1023 {
+		t.Fatalf("p100 = %d, want 1023", got)
+	}
+	if got := s.Quantile(2); got != 1023 {
+		t.Fatalf("clamped q>1 = %d, want 1023", got)
+	}
+}

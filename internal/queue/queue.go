@@ -48,6 +48,10 @@ type Coalescing struct {
 	coalesce Coalesce
 	st       *stats.Counters
 
+	// n is the vertex-slot capacity; slots and occ are materialized on the
+	// first Insert (see ensure), so an idle queue costs O(1) memory — the
+	// property that lets a service construct thousands of dormant systems.
+	n     int
 	slots []event.Event
 	occ   *occupancy
 
@@ -93,10 +97,18 @@ func New(n int, cfg Config, fn Coalesce, st *stats.Counters) *Coalescing {
 		cfg:          cfg,
 		coalesce:     fn,
 		st:           st,
-		slots:        make([]event.Event, n),
-		occ:          newOccupancy(n, cfg.RowSize),
+		n:            n,
 		coalescingOn: true,
 	}
+}
+
+// ensure materializes the slot array and occupancy bitmap on first insert.
+func (q *Coalescing) ensure() {
+	if q.occ != nil {
+		return
+	}
+	q.slots = make([]event.Event, q.n)
+	q.occ = newOccupancy(q.n, q.cfg.RowSize)
 }
 
 // SetCoalescing toggles event coalescing. JetStream disables it during the
@@ -111,9 +123,10 @@ func (q *Coalescing) CoalescingEnabled() bool { return q.coalescingOn }
 // same target.
 func (q *Coalescing) Insert(e event.Event) {
 	t := e.Target
-	if int(t) >= len(q.slots) {
-		panic(fmt.Sprintf("queue: target %d out of range (%d slots)", t, len(q.slots)))
+	if int(t) >= q.n {
+		panic(fmt.Sprintf("queue: target %d out of range (%d slots)", t, q.n))
 	}
+	q.ensure()
 	if !q.occ.set(int(t)) {
 		if q.coalescingOn {
 			q.slots[t] = q.coalesce(q.slots[t], e)
@@ -133,7 +146,12 @@ func (q *Coalescing) Insert(e event.Event) {
 }
 
 // Len returns the number of live events (slots + overflow).
-func (q *Coalescing) Len() int { return q.occ.count + len(q.overflow) }
+func (q *Coalescing) Len() int {
+	if q.occ == nil {
+		return 0
+	}
+	return q.occ.count + len(q.overflow)
+}
 
 // Empty reports whether no events are pending.
 func (q *Coalescing) Empty() bool { return q.Len() == 0 }
@@ -147,7 +165,7 @@ func (q *Coalescing) OverflowLen() int { return len(q.overflow) }
 
 // Rows returns the number of rows covering the vertex space.
 func (q *Coalescing) Rows() int {
-	return (len(q.slots) + q.cfg.RowSize - 1) / q.cfg.RowSize
+	return (q.n + q.cfg.RowSize - 1) / q.cfg.RowSize
 }
 
 // DrainRound emits every currently pending event, one row batch at a time,
@@ -165,6 +183,13 @@ func (q *Coalescing) Rows() int {
 // contract above — a same-row or earlier-row reinsertion waits for the next
 // round even if its row still has the occupancy bit set.
 func (q *Coalescing) DrainRound(fn func(batch []event.Event)) int {
+	if q.occ == nil {
+		// Nothing was ever inserted; count the (empty) round for parity with
+		// the materialized path.
+		q.st.Rounds++
+		q.publishObs()
+		return 0
+	}
 	emitted := 0
 	batch := make([]event.Event, 0, q.cfg.RowSize)
 	for row := q.occ.nextRow(0); row >= 0; row = q.occ.nextRow(row + 1) {
@@ -199,6 +224,9 @@ func (q *Coalescing) DrainRound(fn func(batch []event.Event)) int {
 // The parallel engine uses it to move a phase's seed events into the per-PE
 // shards before the workers start.
 func (q *Coalescing) TakeAll() []event.Event {
+	if q.occ == nil {
+		return nil
+	}
 	out := make([]event.Event, 0, q.Len())
 	for row := q.occ.nextRow(0); row >= 0; row = q.occ.nextRow(row + 1) {
 		q.occ.drainRow(row, func(slot int) {

@@ -1,0 +1,184 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"jetstream"
+)
+
+// Handler builds the service's HTTP surface:
+//
+//	POST   /v1/tenants                 create a tenant (CreateRequest body)
+//	GET    /v1/tenants                 list tenant names
+//	GET    /v1/tenants/{name}          describe one tenant (TenantInfo)
+//	DELETE /v1/tenants/{name}          delete a tenant and its durable state
+//	POST   /v1/tenants/{name}/batch    apply one batch (WireBatch body)
+//	GET    /v1/tenants/{name}/state    converged state (StateResponse)
+//	GET    /v1/tenants/{name}/metrics  the tenant's own metrics registry
+//	GET    /v1/stats                   aggregate StatsResponse
+//	GET    /metrics                    aggregate service metrics
+//	GET    /healthz                    liveness probe
+//
+// Every non-2xx response is a JSON ErrorResponse. A full admission queue
+// answers 429 with a Retry-After hint so well-behaved clients back off.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tenants", s.handleCreate)
+	mux.HandleFunc("GET /v1/tenants", s.handleList)
+	mux.HandleFunc("GET /v1/tenants/{name}", s.handleInfo)
+	mux.HandleFunc("DELETE /v1/tenants/{name}", s.handleDelete)
+	mux.HandleFunc("POST /v1/tenants/{name}/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/tenants/{name}/state", s.handleState)
+	mux.HandleFunc("GET /v1/tenants/{name}/metrics", s.handleTenantMetrics)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps service and ingest errors onto HTTP statuses. Batch
+// validation failures carry their per-update issue list so the client can
+// see exactly which updates were invalid.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var resp ErrorResponse
+	resp.Error = err.Error()
+	var be *jetstream.BatchError
+	switch {
+	case errors.As(err, &be):
+		code = http.StatusBadRequest
+		resp.Issues = be.Issues
+	case errors.Is(err, ErrInvalid):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		code = http.StatusConflict
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrTenantLimit):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+// decodeBody strictly decodes a JSON request body into v.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: body: %w", ErrInvalid, err)
+	}
+	return nil
+}
+
+func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if _, err := s.Create(req); err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := s.Info(req.Name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"tenants": s.Names()})
+}
+
+func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := s.Info(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Service) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.Delete(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var wb WireBatch
+	if err := decodeBody(r, &wb); err != nil {
+		writeError(w, err)
+		return
+	}
+	name := r.PathValue("name")
+	res, err := s.Ingest(name, wb.Batch())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	t, err := s.get(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	t.mu.Lock()
+	batches := t.sys.Batches()
+	t.mu.Unlock()
+	writeJSON(w, http.StatusOK, BatchResponse{
+		Batches:  batches,
+		Cycles:   res.Cycles,
+		Events:   res.Stats.EventsProcessed,
+		Repaired: res.Repaired,
+		Expired:  res.Expired,
+		Issues:   res.Issues,
+	})
+}
+
+func (s *Service) handleState(w http.ResponseWriter, r *http.Request) {
+	state, batches, err := s.State(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	b64, crc := EncodeState(state)
+	writeJSON(w, http.StatusOK, StateResponse{
+		Vertices: len(state),
+		Batches:  batches,
+		State:    b64,
+		CRC64:    crc,
+	})
+}
+
+func (s *Service) handleTenantMetrics(w http.ResponseWriter, r *http.Request) {
+	t, err := s.tenant(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	t.mu.Lock()
+	h := t.sys.MetricsHandler()
+	t.mu.Unlock()
+	h.ServeHTTP(w, r)
+}

@@ -1,0 +1,321 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jetstream"
+	"jetstream/internal/stream"
+)
+
+// LoadgenConfig parameterizes a load-generation run against a live service.
+type LoadgenConfig struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Tenants is the number of tenants to create (default 32).
+	Tenants int
+	// Clients is the number of concurrent clients per tenant sharing that
+	// tenant's batch sequence (default 4).
+	Clients int
+	// Batches is the number of update batches per tenant (default 8).
+	Batches int
+	// BatchSize is the number of edge updates per batch (default 32).
+	BatchSize int
+	// Vertices and Edges size each tenant's initial graph (defaults 256,
+	// 1024).
+	Vertices, Edges int
+	// Seed makes the whole run reproducible.
+	Seed int64
+	// TenantPrefix namespaces tenant names (default "loadgen-") so runs can
+	// share a server.
+	TenantPrefix string
+	// Client is the HTTP client to use (default http.DefaultClient).
+	Client *http.Client
+}
+
+func (c LoadgenConfig) withDefaults() LoadgenConfig {
+	if c.Tenants <= 0 {
+		c.Tenants = 32
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Batches <= 0 {
+		c.Batches = 8
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.Vertices <= 0 {
+		c.Vertices = 256
+	}
+	if c.Edges <= 0 {
+		c.Edges = 1024
+	}
+	if c.TenantPrefix == "" {
+		c.TenantPrefix = "loadgen-"
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	return c
+}
+
+// LoadgenReport summarizes a run. Mismatched is the list of tenants whose
+// final server-side state was not bitwise-identical to the single-threaded
+// reference — always empty on a correct service.
+type LoadgenReport struct {
+	Tenants       int      `json:"tenants"`
+	Clients       int      `json:"clients"`
+	BatchesTotal  uint64   `json:"batches_total"`
+	WallSeconds   float64  `json:"wall_seconds"`
+	BatchesPerSec float64  `json:"batches_per_sec"`
+	Retries429    uint64   `json:"retries_429"`
+	IngestP50Ns   uint64   `json:"ingest_p50_ns"`
+	IngestP99Ns   uint64   `json:"ingest_p99_ns"`
+	Throttled     uint64   `json:"throttled_total"`
+	Mismatched    []string `json:"mismatched,omitempty"`
+}
+
+// loadgenAlgos is the per-tenant algorithm rotation. All four kernels are
+// selective (monotonic min/max reductions), which is what makes the bitwise
+// check sound: insert-only disjoint batches commute under a selective kernel,
+// so any interleaving of racing clients must land on the reference state
+// exactly — at any engine parallelism.
+var loadgenAlgos = []jetstream.AlgorithmSpec{
+	{Name: "sssp", Root: 0},
+	{Name: "sswp", Root: 0},
+	{Name: "bfs", Root: 0},
+	{Name: "cc"},
+}
+
+// loadgenTenant is one tenant's prepared workload: its declaration, the
+// pre-drawn batch sequence, and the reference final state from applying that
+// sequence on a private single-threaded System.
+type loadgenTenant struct {
+	req      CreateRequest
+	batches  []WireBatch
+	refState []float64
+}
+
+// prepareTenant builds tenant i's declaration, draws its insert-only batch
+// sequence against an evolving local reference, and records the reference
+// final state. Insert-only matters: the generator draws each batch valid
+// against the graph after all earlier batches, so inserts are pairwise
+// disjoint across batches and the sequence commutes; deletions would not
+// (a reordered delete could precede the insert it names).
+func prepareTenant(cfg LoadgenConfig, i int) (loadgenTenant, error) {
+	spec := loadgenAlgos[i%len(loadgenAlgos)]
+	symmetric := spec.Name == "cc"
+	req := CreateRequest{
+		Name: fmt.Sprintf("%s%03d", cfg.TenantPrefix, i),
+		Graph: GraphSpec{
+			Gen:        "er",
+			Vertices:   cfg.Vertices,
+			Edges:      cfg.Edges,
+			Seed:       cfg.Seed + int64(i),
+			Symmetrize: symmetric,
+		},
+		Algorithm: spec,
+		// Zero Config: serving defaults (timing off, strict ingest, default
+		// engine parallelism).
+		Config: jetstream.Config{},
+	}
+
+	alg, err := jetstream.NewAlgorithm(req.Algorithm)
+	if err != nil {
+		return loadgenTenant{}, err
+	}
+	g, err := req.Graph.Build()
+	if err != nil {
+		return loadgenTenant{}, err
+	}
+	ref, err := jetstream.New(g, alg, req.Config.Options()...)
+	if err != nil {
+		return loadgenTenant{}, err
+	}
+	ref.RunInitial()
+
+	gen := stream.NewGenerator(stream.Config{
+		BatchSize:  cfg.BatchSize,
+		InsertFrac: 1,
+		Symmetric:  symmetric,
+		Seed:       cfg.Seed ^ int64(i)<<17,
+	})
+	t := loadgenTenant{req: req, batches: make([]WireBatch, 0, cfg.Batches)}
+	for b := 0; b < cfg.Batches; b++ {
+		batch := gen.Next(ref.Graph())
+		if _, err := ref.ApplyBatch(batch); err != nil {
+			return loadgenTenant{}, fmt.Errorf("reference %s batch %d: %w", req.Name, b, err)
+		}
+		wb := WireBatch{Inserts: make([]WireEdge, len(batch.Inserts))}
+		for j, e := range batch.Inserts {
+			wb.Inserts[j] = WireEdge{Src: e.Src, Dst: e.Dst, Weight: e.Weight}
+		}
+		t.batches = append(t.batches, wb)
+	}
+	t.refState = ref.State()
+	return t, nil
+}
+
+// lgClient is a minimal JSON client for the service API.
+type lgClient struct {
+	base string
+	hc   *http.Client
+}
+
+// do posts (or gets, body nil) and decodes into out. It returns the HTTP
+// status so callers can branch on backpressure.
+func (c *lgClient) do(method, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	// A response-body close error carries no durability meaning; discard it
+	// visibly.
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode >= 400 {
+		var e ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return resp.StatusCode, fmt.Errorf("%s %s: %d: %s", method, path, resp.StatusCode, e.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// RunLoadgen drives a live service over HTTP: it creates cfg.Tenants tenants,
+// hammers each with cfg.Clients concurrent clients racing through the
+// tenant's pre-drawn batch sequence (retrying on 429 backpressure), then
+// fetches every tenant's final state and verifies it is bitwise-identical to
+// a single-threaded reference run of the same sequence.
+func RunLoadgen(cfg LoadgenConfig) (LoadgenReport, error) {
+	cfg = cfg.withDefaults()
+	client := &lgClient{base: cfg.BaseURL, hc: cfg.Client}
+
+	tenants := make([]loadgenTenant, cfg.Tenants)
+	for i := range tenants {
+		t, err := prepareTenant(cfg, i)
+		if err != nil {
+			return LoadgenReport{}, err
+		}
+		tenants[i] = t
+		if _, err := client.do("POST", "/v1/tenants", t.req, nil); err != nil {
+			return LoadgenReport{}, fmt.Errorf("create %s: %w", t.req.Name, err)
+		}
+	}
+
+	var retries atomic.Uint64
+	var firstErr atomic.Value // error
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range tenants {
+		t := &tenants[i]
+		var next atomic.Int64
+		for c := 0; c < cfg.Clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					idx := next.Add(1) - 1
+					if idx >= int64(len(t.batches)) {
+						return
+					}
+					// Each batch is sent until accepted; 429 means the
+					// tenant's admission queue is full — back off and retry.
+					for attempt := 0; ; attempt++ {
+						code, err := client.do("POST", "/v1/tenants/"+t.req.Name+"/batch", t.batches[idx], nil)
+						if err == nil {
+							break
+						}
+						if code != http.StatusTooManyRequests {
+							firstErr.CompareAndSwap(nil, error(fmt.Errorf("%s batch %d: %w", t.req.Name, idx, err)))
+							return
+						}
+						retries.Add(1)
+						backoff := time.Millisecond << min(attempt, 6)
+						time.Sleep(backoff)
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return LoadgenReport{}, err
+	}
+
+	report := LoadgenReport{
+		Tenants:      cfg.Tenants,
+		Clients:      cfg.Clients,
+		BatchesTotal: uint64(cfg.Tenants * cfg.Batches),
+		WallSeconds:  wall.Seconds(),
+		Retries429:   retries.Load(),
+	}
+	if wall > 0 {
+		report.BatchesPerSec = float64(report.BatchesTotal) / wall.Seconds()
+	}
+
+	for i := range tenants {
+		t := &tenants[i]
+		var st StateResponse
+		if _, err := client.do("GET", "/v1/tenants/"+t.req.Name+"/state", nil, &st); err != nil {
+			return report, fmt.Errorf("state %s: %w", t.req.Name, err)
+		}
+		got, err := DecodeState(st.State, st.CRC64)
+		if err != nil {
+			return report, fmt.Errorf("state %s: %w", t.req.Name, err)
+		}
+		if !bitwiseEqual(got, t.refState) {
+			report.Mismatched = append(report.Mismatched, t.req.Name)
+		}
+	}
+
+	var stats StatsResponse
+	if _, err := client.do("GET", "/v1/stats", nil, &stats); err == nil {
+		report.IngestP50Ns = stats.IngestP50Ns
+		report.IngestP99Ns = stats.IngestP99Ns
+		report.Throttled = stats.Throttled
+	}
+	return report, nil
+}
+
+// bitwiseEqual compares two state vectors bit-for-bit (NaN-safe, ±Inf-exact;
+// plain == would declare NaN != NaN and miss signed-zero differences).
+func bitwiseEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

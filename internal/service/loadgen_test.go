@@ -1,0 +1,47 @@
+package service
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// TestLoadgenBitwise is the headline concurrency check: 32 tenants × 4
+// racing clients per tenant against one in-process server, every tenant's
+// final state bitwise-identical to its single-threaded reference run. Run
+// with -race this doubles as the data-race regression for the whole service
+// layer.
+func TestLoadgenBitwise(t *testing.T) {
+	svc := New(Options{})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	rep, err := RunLoadgen(LoadgenConfig{
+		BaseURL:   srv.URL,
+		Tenants:   32,
+		Clients:   4,
+		Batches:   6,
+		BatchSize: 24,
+		Vertices:  128,
+		Edges:     512,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	if len(rep.Mismatched) != 0 {
+		t.Fatalf("tenants diverged from reference: %v", rep.Mismatched)
+	}
+	if want := uint64(32 * 6); rep.BatchesTotal != want {
+		t.Fatalf("batches_total = %d, want %d", rep.BatchesTotal, want)
+	}
+	stats := svc.Stats()
+	if stats.BatchesTotal != rep.BatchesTotal {
+		t.Fatalf("service counted %d batches, loadgen sent %d", stats.BatchesTotal, rep.BatchesTotal)
+	}
+	if stats.Tenants != 32 {
+		t.Fatalf("service hosts %d tenants, want 32", stats.Tenants)
+	}
+	if err := svc.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

@@ -1,0 +1,502 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jetstream"
+	"jetstream/internal/stream"
+)
+
+// refTenant pairs a tenant declaration with a private single-threaded
+// reference System and a generator, so tests can draw the next valid batch
+// and know the exact state the server must reach.
+type refTenant struct {
+	req CreateRequest
+	sys *jetstream.System
+	gen *stream.Generator
+}
+
+func newRefTenant(t *testing.T, req CreateRequest, seed int64) *refTenant {
+	t.Helper()
+	alg, err := jetstream.NewAlgorithm(req.Algorithm)
+	if err != nil {
+		t.Fatalf("algorithm: %v", err)
+	}
+	g, err := req.Graph.Build()
+	if err != nil {
+		t.Fatalf("graph: %v", err)
+	}
+	// The reference strips the WAL: same computation, no durability.
+	cfg := req.Config
+	cfg.WALDir, cfg.WALSync, cfg.WALSyncInterval = "", "", 0
+	sys, err := jetstream.New(g, alg, cfg.Options()...)
+	if err != nil {
+		t.Fatalf("reference system: %v", err)
+	}
+	sys.RunInitial()
+	return &refTenant{
+		req: req,
+		sys: sys,
+		gen: stream.NewGenerator(stream.Config{
+			BatchSize:  16,
+			InsertFrac: 1,
+			Symmetric:  req.Graph.Symmetrize,
+			Seed:       seed,
+		}),
+	}
+}
+
+// nextBatch draws the next insert-only batch, applies it to the reference,
+// and returns the wire form for the server.
+func (r *refTenant) nextBatch(t *testing.T) WireBatch {
+	t.Helper()
+	b := r.gen.Next(r.sys.Graph())
+	if _, err := r.sys.ApplyBatch(b); err != nil {
+		t.Fatalf("reference apply: %v", err)
+	}
+	wb := WireBatch{Inserts: make([]WireEdge, len(b.Inserts))}
+	for i, e := range b.Inserts {
+		wb.Inserts[i] = WireEdge{Src: e.Src, Dst: e.Dst, Weight: e.Weight}
+	}
+	return wb
+}
+
+func (r *refTenant) state() []float64 {
+	s := r.sys.State()
+	out := make([]float64, len(s))
+	copy(out, s)
+	return out
+}
+
+func mustBitwise(t *testing.T, got, want []float64, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d vertices, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: vertex %d = %v (bits %x), want %v (bits %x)",
+				what, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// httpJSON round-trips one request against the test server.
+func httpJSON(t *testing.T, srv *httptest.Server, method, path string, body, out any) (int, http.Header) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequest(method, srv.URL+path, rd)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+func erRequest(name, algoName string, symmetrize bool) CreateRequest {
+	spec := jetstream.AlgorithmSpec{Name: algoName}
+	return CreateRequest{
+		Name:      name,
+		Graph:     GraphSpec{Gen: "er", Vertices: 128, Edges: 512, Seed: 11, Symmetrize: symmetrize},
+		Algorithm: spec,
+		Config:    jetstream.Config{},
+	}
+}
+
+// TestTenantLifecycle walks the whole arc over HTTP: create, ingest, metrics,
+// state, graceful shutdown (writing a checkpoint), recovery in a fresh
+// Service, and continued ingest — with the state bitwise-identical to a
+// single-threaded reference at every observation point.
+func TestTenantLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	svc := New(Options{DataDir: dir})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	req := erRequest("alpha", "sssp", false)
+	ref := newRefTenant(t, req, 99)
+
+	var info TenantInfo
+	if code, _ := httpJSON(t, srv, "POST", "/v1/tenants", req, &info); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if info.Started {
+		t.Fatal("tenant reports started before any batch")
+	}
+
+	const k1 = 3
+	for i := 0; i < k1; i++ {
+		var br BatchResponse
+		if code, _ := httpJSON(t, srv, "POST", "/v1/tenants/alpha/batch", ref.nextBatch(t), &br); code != http.StatusOK {
+			t.Fatalf("batch %d: status %d", i, code)
+		}
+		if br.Batches != uint64(i+1) {
+			t.Fatalf("batch %d: server counts %d", i, br.Batches)
+		}
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/tenants/alpha/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(blob), "jetstream") {
+		t.Fatalf("tenant metrics: status %d, body %q", resp.StatusCode, blob)
+	}
+
+	var st StateResponse
+	if code, _ := httpJSON(t, srv, "GET", "/v1/tenants/alpha/state", nil, &st); code != http.StatusOK {
+		t.Fatalf("state: status %d", code)
+	}
+	got, err := DecodeState(st.State, st.CRC64)
+	if err != nil {
+		t.Fatalf("decode state: %v", err)
+	}
+	mustBitwise(t, got, ref.state(), "state after k1")
+
+	if err := svc.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "alpha", shutdownCkptName)); err != nil {
+		t.Fatalf("shutdown checkpoint: %v", err)
+	}
+
+	svc2 := New(Options{DataDir: dir})
+	n, err := svc2.Recover()
+	if err != nil || n != 1 {
+		t.Fatalf("recover: n=%d err=%v", n, err)
+	}
+	state2, batches, err := svc2.State("alpha")
+	if err != nil {
+		t.Fatalf("state after recover: %v", err)
+	}
+	if batches != k1 {
+		t.Fatalf("recovered batches = %d, want %d", batches, k1)
+	}
+	mustBitwise(t, state2, ref.state(), "state after recover")
+
+	for i := 0; i < 2; i++ {
+		if _, err := svc2.Ingest("alpha", ref.nextBatch(t).Batch()); err != nil {
+			t.Fatalf("continued batch %d: %v", i, err)
+		}
+	}
+	final, _, err := svc2.State("alpha")
+	if err != nil {
+		t.Fatalf("final state: %v", err)
+	}
+	mustBitwise(t, final, ref.state(), "state after continued ingest")
+	if err := svc2.Shutdown(); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+// TestWALKillRestart simulates a crash: tenants journal through a WAL with
+// per-batch sync, the first Service is abandoned without Shutdown, and a
+// second Service over the same data directory must recover every tenant to
+// its last acknowledged batch — including a declared-but-never-run tenant
+// rebuilt from its manifest.
+func TestWALKillRestart(t *testing.T) {
+	dir := t.TempDir()
+	svcA := New(Options{DataDir: dir})
+
+	walCfg := jetstream.Config{WALDir: "wal", WALSync: "batch"}
+	reqs := []CreateRequest{
+		{Name: "w0", Graph: GraphSpec{Gen: "er", Vertices: 96, Edges: 384, Seed: 3}, Algorithm: jetstream.AlgorithmSpec{Name: "sssp"}, Config: walCfg},
+		{Name: "w1", Graph: GraphSpec{Gen: "er", Vertices: 96, Edges: 384, Seed: 4, Symmetrize: true}, Algorithm: jetstream.AlgorithmSpec{Name: "cc"}, Config: walCfg},
+		{Name: "w2", Graph: GraphSpec{Gen: "er", Vertices: 96, Edges: 384, Seed: 5}, Algorithm: jetstream.AlgorithmSpec{Name: "bfs"}, Config: walCfg},
+	}
+	refs := make(map[string]*refTenant)
+	for i, req := range reqs {
+		if _, err := svcA.Create(req); err != nil {
+			t.Fatalf("create %s: %v", req.Name, err)
+		}
+		refs[req.Name] = newRefTenant(t, req, int64(100+i))
+	}
+
+	// w0 and w1 ingest; w2 stays dormant (no snapshot exists yet).
+	const k1 = 3
+	for _, name := range []string{"w0", "w1"} {
+		for i := 0; i < k1; i++ {
+			if _, err := svcA.Ingest(name, refs[name].nextBatch(t).Batch()); err != nil {
+				t.Fatalf("%s batch %d: %v", name, i, err)
+			}
+		}
+	}
+	// Kill: svcA is abandoned here — no Shutdown, no Sync. Every acked batch
+	// was synced by the per-batch WAL policy, so it must survive.
+
+	svcB := New(Options{DataDir: dir})
+	n, err := svcB.Recover()
+	if err != nil || n != len(reqs) {
+		t.Fatalf("recover: n=%d err=%v", n, err)
+	}
+	for _, name := range []string{"w0", "w1"} {
+		state, batches, serr := svcB.State(name)
+		if serr != nil {
+			t.Fatalf("%s state: %v", name, serr)
+		}
+		if batches != k1 {
+			t.Fatalf("%s recovered %d batches, want %d", name, batches, k1)
+		}
+		mustBitwise(t, state, refs[name].state(), name+" after crash recovery")
+	}
+	// The dormant tenant rebuilds from its manifest at initial state.
+	state, batches, err := svcB.State("w2")
+	if err != nil {
+		t.Fatalf("w2 state: %v", err)
+	}
+	if batches != 0 {
+		t.Fatalf("w2 recovered %d batches, want 0", batches)
+	}
+	mustBitwise(t, state, refs["w2"].state(), "w2 after crash recovery")
+
+	// All three continue ingesting on the recovered Service.
+	for _, name := range []string{"w0", "w1", "w2"} {
+		for i := 0; i < 2; i++ {
+			if _, err := svcB.Ingest(name, refs[name].nextBatch(t).Batch()); err != nil {
+				t.Fatalf("%s continued batch %d: %v", name, i, err)
+			}
+		}
+		final, _, serr := svcB.State(name)
+		if serr != nil {
+			t.Fatalf("%s final state: %v", name, serr)
+		}
+		mustBitwise(t, final, refs[name].state(), name+" final")
+	}
+	if err := svcB.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestBackpressure drives the admission queue to saturation and checks the
+// 429 + Retry-After contract, then that the tenant accepts work again once
+// the queue drains.
+func TestBackpressure(t *testing.T) {
+	svc := New(Options{QueueDepth: 1})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	req := erRequest("busy", "sssp", false)
+	ref := newRefTenant(t, req, 7)
+	if _, err := svc.Create(req); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	// Occupy the single admission slot directly: equivalent to a batch
+	// mid-apply, without racing a real one.
+	tn, err := svc.get("busy")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	tn.sem <- struct{}{}
+
+	batch := ref.nextBatch(t)
+	code, hdr := httpJSON(t, srv, "POST", "/v1/tenants/busy/batch", batch, nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated ingest: status %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if got := svc.Stats().Throttled; got != 1 {
+		t.Fatalf("throttled counter = %d, want 1", got)
+	}
+
+	<-tn.sem
+	if code, _ := httpJSON(t, srv, "POST", "/v1/tenants/busy/batch", batch, nil); code != http.StatusOK {
+		t.Fatalf("drained ingest: status %d, want 200", code)
+	}
+	state, _, err := svc.State("busy")
+	if err != nil {
+		t.Fatalf("state: %v", err)
+	}
+	mustBitwise(t, state, ref.state(), "state after backpressure retry")
+}
+
+// edgeListRequest declares a tiny explicit graph so validity of individual
+// updates is obvious: edges 0->1->2 over 4 vertices.
+func edgeListRequest(name string, cfg jetstream.Config) CreateRequest {
+	return CreateRequest{
+		Name: name,
+		Graph: GraphSpec{
+			Vertices: 4,
+			EdgeList: []WireEdge{{Src: 0, Dst: 1, Weight: 2}, {Src: 1, Dst: 2, Weight: 3}},
+		},
+		Algorithm: jetstream.AlgorithmSpec{Name: "sssp"},
+		Config:    cfg,
+	}
+}
+
+// TestMalformedBatch exercises the 400 path: Strict rejects the batch with
+// its issue list and applies nothing; Repair applies the valid part and
+// reports the drops.
+func TestMalformedBatch(t *testing.T) {
+	svc := New(Options{})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	for _, req := range []CreateRequest{
+		edgeListRequest("strict", jetstream.Config{}),
+		edgeListRequest("repair", jetstream.Config{Ingest: "repair"}),
+	} {
+		if code, _ := httpJSON(t, srv, "POST", "/v1/tenants", req, nil); code != http.StatusCreated {
+			t.Fatalf("create %s: status %d", req.Name, code)
+		}
+	}
+
+	// One valid insert (0->2) and one naming a vertex outside the graph.
+	bad := WireBatch{Inserts: []WireEdge{
+		{Src: 0, Dst: 2, Weight: 1},
+		{Src: 99, Dst: 0, Weight: 1},
+	}}
+
+	resp, err := srv.Client().Post(srv.URL+"/v1/tenants/strict/batch", "application/json",
+		bytes.NewReader(mustMarshal(t, bad)))
+	if err != nil {
+		t.Fatalf("strict post: %v", err)
+	}
+	var eresp ErrorResponse
+	jerr := json.NewDecoder(resp.Body).Decode(&eresp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || jerr != nil {
+		t.Fatalf("strict: status %d decode %v, want 400", resp.StatusCode, jerr)
+	}
+	if len(eresp.Issues) != 1 {
+		t.Fatalf("strict: %d issues, want 1 (%q)", len(eresp.Issues), eresp.Error)
+	}
+	var info TenantInfo
+	if code, _ := httpJSON(t, srv, "GET", "/v1/tenants/strict", nil, &info); code != http.StatusOK || info.Batches != 0 {
+		t.Fatalf("strict after reject: status %d batches %d, want 200/0", code, info.Batches)
+	}
+
+	var br BatchResponse
+	if code, _ := httpJSON(t, srv, "POST", "/v1/tenants/repair/batch", bad, &br); code != http.StatusOK {
+		t.Fatalf("repair: status %d, want 200", code)
+	}
+	if br.Repaired != 1 || len(br.Issues) != 1 || br.Batches != 1 {
+		t.Fatalf("repair: repaired=%d issues=%d batches=%d, want 1/1/1", br.Repaired, len(br.Issues), br.Batches)
+	}
+
+	// Malformed JSON body.
+	resp, err = srv.Client().Post(srv.URL+"/v1/tenants/strict/batch", "application/json",
+		strings.NewReader(`{"inserts": [{"src": "zero"}]}`))
+	if err != nil {
+		t.Fatalf("bad json post: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return blob
+}
+
+// TestCreateErrors covers the declarative rejection paths: bad names, bad
+// algorithms, bad configs, escapes, duplicates, limits, and 404s.
+func TestCreateErrors(t *testing.T) {
+	svc := New(Options{MaxTenants: 1})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	post := func(body string) int {
+		resp, err := srv.Client().Post(srv.URL+"/v1/tenants", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"bad-name", `{"name":"a/b","graph":{"gen":"er","vertices":8,"edges":8},"algorithm":{"name":"sssp"}}`, 400},
+		{"unknown-algorithm", `{"name":"t","graph":{"gen":"er","vertices":8,"edges":8},"algorithm":{"name":"dijkstra"}}`, 400},
+		{"unknown-generator", `{"name":"t","graph":{"gen":"torus","vertices":8},"algorithm":{"name":"sssp"}}`, 400},
+		{"bad-config", `{"name":"t","graph":{"gen":"er","vertices":8,"edges":8},"algorithm":{"name":"sssp"},"config":{"opt":"turbo"}}`, 400},
+		{"wal-without-datadir", `{"name":"t","graph":{"gen":"er","vertices":8,"edges":8},"algorithm":{"name":"sssp"},"config":{"wal_dir":"wal"}}`, 400},
+		{"unknown-body-field", `{"name":"t","graph":{"gen":"er","vertices":8,"edges":8},"algorithm":{"name":"sssp"},"surprise":1}`, 400},
+		{"too-many-vertices", `{"name":"t","graph":{"gen":"er","vertices":99999999,"edges":8},"algorithm":{"name":"sssp"}}`, 400},
+	}
+	for _, c := range cases {
+		if got := post(c.body); got != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, got, c.want)
+		}
+	}
+
+	ok := `{"name":"only","graph":{"gen":"er","vertices":8,"edges":8},"algorithm":{"name":"sssp"}}`
+	if got := post(ok); got != http.StatusCreated {
+		t.Fatalf("valid create: status %d", got)
+	}
+	if got := post(ok); got != http.StatusConflict {
+		t.Errorf("duplicate create: status %d, want 409", got)
+	}
+	second := `{"name":"second","graph":{"gen":"er","vertices":8,"edges":8},"algorithm":{"name":"sssp"}}`
+	if got := post(second); got != http.StatusTooManyRequests {
+		t.Errorf("tenant limit: status %d, want 429", got)
+	}
+
+	if code, _ := httpJSON(t, srv, "GET", "/v1/tenants/ghost/state", nil, nil); code != http.StatusNotFound {
+		t.Errorf("unknown tenant: status %d, want 404", code)
+	}
+
+	// WAL escape attempts go through a DataDir-enabled service.
+	dsvc := New(Options{DataDir: t.TempDir()})
+	for _, walDir := range []string{"../out", "/abs"} {
+		req := erRequest("esc", "sssp", false)
+		req.Config.WALDir = walDir
+		if _, err := dsvc.Create(req); err == nil {
+			t.Errorf("wal_dir %q accepted, want rejection", walDir)
+		}
+	}
+
+	// Delete frees the name and the tenant's durable directory.
+	req := erRequest("gone", "sssp", false)
+	if _, err := dsvc.Create(req); err != nil {
+		t.Fatalf("create gone: %v", err)
+	}
+	if err := dsvc.Delete("gone"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, _, err := dsvc.State("gone"); err == nil {
+		t.Fatal("deleted tenant still serves state")
+	}
+	if _, err := dsvc.Create(req); err != nil {
+		t.Fatalf("recreate after delete: %v", err)
+	}
+}

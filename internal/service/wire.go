@@ -1,0 +1,213 @@
+// Package service hosts many independent jetstream Systems — tenants —
+// behind one HTTP surface: a registry with per-tenant locking (batches are
+// serialized per tenant, concurrent across tenants), bounded admission with
+// backpressure, per-tenant and aggregate metrics, durable manifests with
+// startup recovery, and a graceful shutdown that checkpoints-or-syncs every
+// tenant. Everything a tenant is — graph, algorithm, configuration — arrives
+// as data (jetstream.Config, jetstream.AlgorithmSpec), never as code.
+package service
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"math"
+
+	"jetstream"
+)
+
+// WireEdge is one directed weighted edge on the wire.
+type WireEdge struct {
+	Src    uint32  `json:"src"`
+	Dst    uint32  `json:"dst"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// WireBatch is one streaming update batch on the wire.
+type WireBatch struct {
+	Inserts []WireEdge `json:"inserts,omitempty"`
+	Deletes []WireEdge `json:"deletes,omitempty"`
+}
+
+// Batch lowers the wire form to the engine's batch type. A delete with
+// weight 0 is legal: ApplyBatch normalizes delete weights to the stored edge
+// weight during sanitization.
+func (b WireBatch) Batch() jetstream.Batch {
+	out := jetstream.Batch{}
+	if len(b.Inserts) > 0 {
+		out.Inserts = make([]jetstream.Edge, len(b.Inserts))
+		for i, e := range b.Inserts {
+			out.Inserts[i] = jetstream.Edge{Src: e.Src, Dst: e.Dst, Weight: e.Weight}
+		}
+	}
+	if len(b.Deletes) > 0 {
+		out.Deletes = make([]jetstream.Edge, len(b.Deletes))
+		for i, e := range b.Deletes {
+			out.Deletes[i] = jetstream.Edge{Src: e.Src, Dst: e.Dst, Weight: e.Weight}
+		}
+	}
+	return out
+}
+
+// GraphSpec declares a tenant's initial graph: either a generator by name
+// ("rmat", "webcrawl", "grid", "er") with its parameters, or an explicit
+// edge list (Gen empty). Generators are deterministic in Seed, so a spec in
+// a manifest rebuilds the identical graph at recovery.
+type GraphSpec struct {
+	// Gen names the generator; empty means EdgeList is the graph.
+	Gen string `json:"gen,omitempty"`
+	// Vertices is the vertex count (generators and edge lists alike).
+	Vertices int `json:"vertices,omitempty"`
+	// Edges is the generated edge count (generators only).
+	Edges int `json:"edges,omitempty"`
+	// MaxWeight bounds generated weights; 0 selects 64.
+	MaxWeight float64 `json:"max_weight,omitempty"`
+	// Seed drives the generator.
+	Seed int64 `json:"seed,omitempty"`
+	// EdgeList is the explicit graph when Gen is empty.
+	EdgeList []WireEdge `json:"edge_list,omitempty"`
+	// Symmetrize mirrors every edge after construction (required by cc/wcc).
+	Symmetrize bool `json:"symmetrize,omitempty"`
+}
+
+// Build materializes the declared graph.
+func (gs GraphSpec) Build() (*jetstream.Graph, error) {
+	if gs.Vertices <= 0 {
+		return nil, fmt.Errorf("graph: vertices must be positive, got %d", gs.Vertices)
+	}
+	maxW := gs.MaxWeight
+	if maxW <= 0 {
+		maxW = 64
+	}
+	var g *jetstream.Graph
+	switch gs.Gen {
+	case "":
+		edges := make([]jetstream.Edge, len(gs.EdgeList))
+		for i, e := range gs.EdgeList {
+			edges[i] = jetstream.Edge{Src: e.Src, Dst: e.Dst, Weight: e.Weight}
+		}
+		built, err := jetstream.BuildGraph(gs.Vertices, edges)
+		if err != nil {
+			return nil, fmt.Errorf("graph: %w", err)
+		}
+		g = built
+	case "rmat":
+		g = jetstream.RMAT(jetstream.RMATConfig{
+			Vertices: gs.Vertices, Edges: gs.Edges, MaxWeight: maxW, Seed: gs.Seed,
+		})
+	case "webcrawl":
+		avg := 4.0
+		if gs.Edges > 0 {
+			avg = float64(gs.Edges) / float64(gs.Vertices)
+		}
+		g = jetstream.WebCrawl(jetstream.WebCrawlConfig{
+			Vertices: gs.Vertices, AvgDegree: avg, Seed: gs.Seed,
+		})
+	case "grid":
+		side := 1
+		for side*side < gs.Vertices {
+			side++
+		}
+		g = jetstream.Grid(jetstream.GridConfig{Rows: side, Cols: side, Diagonal: 0.15, Seed: gs.Seed})
+	case "er":
+		g = jetstream.ErdosRenyi(gs.Vertices, gs.Edges, maxW, gs.Seed)
+	default:
+		return nil, fmt.Errorf("graph: unknown generator %q (want rmat, webcrawl, grid, er, or an edge_list)", gs.Gen)
+	}
+	if gs.Symmetrize {
+		g = jetstream.Symmetrize(g)
+	}
+	return g, nil
+}
+
+// CreateRequest is the create-tenant body: a name plus the three data
+// declarations that fully determine a System. It doubles as the on-disk
+// manifest, so recovery rebuilds tenants from exactly what was declared.
+type CreateRequest struct {
+	Name      string                  `json:"name"`
+	Graph     GraphSpec               `json:"graph"`
+	Algorithm jetstream.AlgorithmSpec `json:"algorithm"`
+	Config    jetstream.Config        `json:"config"`
+}
+
+// TenantInfo is the wire description of a live tenant.
+type TenantInfo struct {
+	Name      string                  `json:"name"`
+	Algorithm jetstream.AlgorithmSpec `json:"algorithm"`
+	Config    jetstream.Config        `json:"config"`
+	Vertices  int                     `json:"vertices"`
+	Edges     int                     `json:"edges"`
+	Batches   uint64                  `json:"batches"`
+	Started   bool                    `json:"started"`
+	WALSize   int64                   `json:"wal_size,omitempty"`
+}
+
+// BatchResponse reports one applied batch.
+type BatchResponse struct {
+	Batches  uint64                 `json:"batches"`
+	Cycles   uint64                 `json:"cycles"`
+	Events   uint64                 `json:"events"`
+	Repaired uint64                 `json:"repaired,omitempty"`
+	Expired  uint64                 `json:"expired,omitempty"`
+	Issues   []jetstream.BatchIssue `json:"issues,omitempty"`
+}
+
+// StateResponse carries a tenant's converged per-vertex state. JSON numbers
+// cannot encode ±Inf (the identity of the distance kernels), so the state
+// travels as base64-encoded little-endian IEEE-754 bits with a CRC64-ECMA
+// checksum (hex) for end-to-end integrity and cheap bitwise comparison.
+type StateResponse struct {
+	Vertices int    `json:"vertices"`
+	Batches  uint64 `json:"batches"`
+	State    string `json:"state_b64"`
+	CRC64    string `json:"state_crc64"`
+}
+
+var stateCRC = crc64.MakeTable(crc64.ECMA)
+
+// EncodeState packs per-vertex state into the wire form.
+func EncodeState(state []float64) (b64, crcHex string) {
+	buf := make([]byte, 8*len(state))
+	for i, v := range state {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	return base64.StdEncoding.EncodeToString(buf),
+		fmt.Sprintf("%016x", crc64.Checksum(buf, stateCRC))
+}
+
+// DecodeState unpacks the wire form, verifying the checksum.
+func DecodeState(b64, crcHex string) ([]float64, error) {
+	buf, err := base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		return nil, fmt.Errorf("state: %w", err)
+	}
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("state: %d bytes is not a float64 array", len(buf))
+	}
+	if got := fmt.Sprintf("%016x", crc64.Checksum(buf, stateCRC)); got != crcHex {
+		return nil, fmt.Errorf("state: checksum mismatch (got %s, declared %s)", got, crcHex)
+	}
+	state := make([]float64, len(buf)/8)
+	for i := range state {
+		state[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return state, nil
+}
+
+// StatsResponse is the service-level aggregate snapshot.
+type StatsResponse struct {
+	Tenants        int    `json:"tenants"`
+	BatchesTotal   uint64 `json:"batches_total"`
+	Throttled      uint64 `json:"throttled_total"`
+	RejectedTotal  uint64 `json:"rejected_batches_total"`
+	RecoveredTotal uint64 `json:"recovered_tenants_total"`
+	IngestP50Ns    uint64 `json:"ingest_p50_ns"`
+	IngestP99Ns    uint64 `json:"ingest_p99_ns"`
+}
+
+// ErrorResponse is the JSON error body every non-2xx response carries.
+type ErrorResponse struct {
+	Error  string                 `json:"error"`
+	Issues []jetstream.BatchIssue `json:"issues,omitempty"`
+}

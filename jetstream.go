@@ -18,10 +18,14 @@
 package jetstream
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"jetstream/internal/algo"
@@ -134,16 +138,46 @@ func Adsorption(eps float64) Algorithm { return algo.NewAdsorption(eps) }
 // AlgorithmSpec names a kernel and its parameters. Fields irrelevant to the
 // kernel are ignored (Root for cc/pagerank/adsorption, Eps for the selective
 // kernels), and new kernel parameters become new fields rather than new
-// positional arguments.
+// positional arguments. The spec is the wire form of an algorithm: it
+// marshals to JSON, and unmarshaling validates the name eagerly (see
+// UnmarshalJSON), so a service can reject a bad tenant declaration before
+// building anything.
 type AlgorithmSpec struct {
 	// Name is one of "sssp", "sswp", "bfs", "cc", "wcc", "pagerank",
 	// "adsorption".
-	Name string
+	Name string `json:"name"`
 	// Root is the query root for sssp/sswp/bfs.
-	Root uint32
+	Root uint32 `json:"root,omitempty"`
 	// Eps is the convergence threshold for pagerank/adsorption; <= 0 selects
 	// the kernel's default.
-	Eps float64
+	Eps float64 `json:"eps,omitempty"`
+}
+
+// ErrUnknownAlgorithm is wrapped by NewAlgorithm and AlgorithmSpec
+// unmarshaling when the spec names no known kernel. Match it with errors.Is.
+var ErrUnknownAlgorithm = algo.ErrUnknown
+
+// AlgorithmNames lists the kernel names a declarative AlgorithmSpec may use,
+// in a stable order.
+func AlgorithmNames() []string { return algo.SpecNames() }
+
+// UnmarshalJSON decodes a spec strictly: unknown JSON fields are rejected (a
+// misspelled parameter must not silently disappear), and an algorithm name
+// outside AlgorithmNames fails with an error wrapping ErrUnknownAlgorithm.
+func (s *AlgorithmSpec) UnmarshalJSON(data []byte) error {
+	type plain AlgorithmSpec
+	var p plain
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return fmt.Errorf("jetstream: algorithm spec: %w", err)
+	}
+	if !algo.ValidSpecName(p.Name) {
+		return fmt.Errorf("jetstream: algorithm spec: %w %q (valid: %s)",
+			ErrUnknownAlgorithm, p.Name, strings.Join(algo.SpecNames(), ", "))
+	}
+	*s = AlgorithmSpec(p)
+	return nil
 }
 
 // NewAlgorithm resolves spec to a kernel.
@@ -153,15 +187,6 @@ func NewAlgorithm(spec AlgorithmSpec) (Algorithm, error) {
 		return nil, fmt.Errorf("jetstream: %w", err)
 	}
 	return a, nil
-}
-
-// AlgorithmByName resolves one of "sssp", "sswp", "bfs", "cc", "pagerank",
-// "adsorption".
-//
-// Deprecated: use NewAlgorithm with an AlgorithmSpec; positional parameters
-// do not survive kernels gaining options.
-func AlgorithmByName(name string, root uint32, eps float64) (Algorithm, error) {
-	return NewAlgorithm(AlgorithmSpec{Name: name, Root: root, Eps: eps})
 }
 
 // Option configures a System. Options compose in any order.
@@ -181,6 +206,22 @@ type options struct {
 	walDir   string
 	walOpts  wal.Options
 	window   int
+
+	// err carries a deferred construction failure: options built from wire
+	// data (Config.Options) cannot return an error themselves, so they record
+	// it here and New rejects the whole construction under ErrConfigConflict.
+	err error
+}
+
+// newOptions returns the library defaults New starts from; Config and its
+// round-trip tests rely on this being the single source of default truth.
+func newOptions() *options { return &options{opt: OptDAP, timing: true} }
+
+// fail records a deferred option error (first error wins).
+func (op *options) fail(err error) {
+	if op.err == nil {
+		op.err = err
+	}
 }
 
 // WithOpt selects the deletion-recovery optimization (default OptDAP).
@@ -320,6 +361,15 @@ var ErrConfigConflict = errors.New("jetstream: conflicting options")
 
 // System is a standing query over a streaming graph: the JetStream engine,
 // its current graph version, and its converged vertex states.
+//
+// Concurrency contract: a System is single-writer. ApplyBatch, RunInitial,
+// Checkpoint, Compact, Sync, Restore and Close must not overlap — callers
+// multiplexing a System across goroutines (a service hosting one System per
+// tenant, say) must serialize these per System with their own lock. Read-only
+// accessors (State, Graph, Metrics, Batches, ...) are safe only between such
+// operations. As a cheap defense against silent state corruption, the
+// mutating entry points carry an atomic in-use guard: an overlapping call
+// fails fast with an error wrapping ErrConcurrentApply instead of racing.
 type System struct {
 	js      *core.JetStream
 	alg     Algorithm
@@ -352,16 +402,41 @@ type System struct {
 	trSeq    uint64
 	latency  *obs.Histogram
 	batchesC *obs.Counter
+
+	// inUse is the concurrency tripwire: set for the duration of every
+	// mutating entry point so an overlapping call from another goroutine
+	// fails with ErrConcurrentApply instead of corrupting engine state.
+	inUse atomic.Bool
 }
+
+// ErrConcurrentApply is returned when a mutating System operation (ApplyBatch,
+// Checkpoint, Compact, Sync, Close, RunInitial) overlaps another one on the
+// same System. It signals a caller-side locking bug: a System is single-writer
+// and must be serialized per instance. Match it with errors.Is.
+var ErrConcurrentApply = errors.New("jetstream: System used concurrently")
+
+// acquire claims the single-writer guard for op, failing fast on overlap.
+func (s *System) acquire(op string) error {
+	if !s.inUse.CompareAndSwap(false, true) {
+		return fmt.Errorf("%w: %s overlapped another operation; serialize access to each System", ErrConcurrentApply, op)
+	}
+	return nil
+}
+
+// release returns the single-writer guard.
+func (s *System) release() { s.inUse.Store(false) }
 
 // New builds a System for query a over initial graph g.
 func New(g *Graph, a Algorithm, opts ...Option) (*System, error) {
 	if algo.NeedsSymmetric(a) && !g.Symmetric() {
 		return nil, fmt.Errorf("jetstream: %s requires a symmetric graph; use Symmetrize", a.Name())
 	}
-	op := &options{opt: OptDAP, timing: true}
+	op := newOptions()
 	for _, o := range opts {
 		o(op)
+	}
+	if op.err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrConfigConflict, op.err)
 	}
 	if op.parallel > 1 {
 		if op.timing {
@@ -478,6 +553,10 @@ func (s *System) RunInitial() Result {
 // the batch with the state untouched. ApplyBatch never panics on
 // caller-supplied input.
 func (s *System) ApplyBatch(b Batch) (Result, error) {
+	if err := s.acquire("ApplyBatch"); err != nil {
+		return Result{}, err
+	}
+	defer s.release()
 	return s.applyBatch(b, true)
 }
 
