@@ -1,17 +1,20 @@
 // Command jetlint runs the repo's custom static-analysis suite (internal/lint)
-// over the module: atomicmix, determinism, panicfree, errwrap.
+// over the module: atomicmix, determinism, panicfree, errwrap, syncerr, plus
+// the flow-sensitive lockdiscipline, hotpathalloc, and journalorder analyzers.
 //
 // Usage:
 //
 //	go run ./cmd/jetlint ./...
 //	go run ./cmd/jetlint -json ./internal/engine/...
+//	go run ./cmd/jetlint -sarif ./... > jetlint.sarif
 //	go run ./cmd/jetlint -determinism=false ./...
 //
 // Each analyzer has an enable flag named after it (default true). Positional
 // arguments restrict which packages' diagnostics are reported (./... means
 // everything); the whole module is always loaded so module-wide analyses see
-// every package. Exit status: 0 clean, 1 diagnostics reported, 2 load or
-// type-check failure.
+// every package. -json and -sarif select machine-readable output (mutually
+// exclusive); -sarif emits a SARIF 2.1.0 log for CI code-scanning surfaces.
+// Exit status: 0 clean, 1 diagnostics reported, 2 load or type-check failure.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	sarifOut := flag.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log")
 	analyzers := lint.All()
 	enabled := make(map[string]*bool, len(analyzers))
 	for _, a := range analyzers {
@@ -41,6 +45,10 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "jetlint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 
 	root, err := moduleRoot()
 	if err != nil {
@@ -61,7 +69,13 @@ func main() {
 	diags := lint.Run(mod, run)
 	diags = filterPatterns(diags, root, flag.Args())
 
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		if err := writeSARIF(os.Stdout, root, run, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "jetlint:", err)
+			os.Exit(2)
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -71,7 +85,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "jetlint:", err)
 			os.Exit(2)
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Println(d)
 		}

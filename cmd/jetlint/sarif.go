@@ -1,0 +1,127 @@
+// SARIF 2.1.0 output for jetlint, the interchange format CI code-scanning
+// surfaces ingest. One run per invocation; every enabled analyzer appears as
+// a rule (so a clean run still documents what was checked), and each
+// diagnostic becomes a result at error level with a repo-relative location.
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+
+	"jetstream/internal/lint"
+)
+
+const sarifSchema = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool               sarifTool                `json:"tool"`
+	OriginalURIBaseIDs map[string]sarifArtifact `json:"originalUriBaseIds,omitempty"`
+	Results            []sarifResult            `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF renders diags as a single-run SARIF log. root anchors the
+// repo-relative artifact URIs; analyzers lists every analyzer that ran, in
+// order, so ruleIndex is stable across invocations with the same flag set.
+// The synthetic "jetlint" rule (stale-allow directives) is appended on
+// demand for diagnostics whose analyzer is not in the enabled set.
+func writeSARIF(w io.Writer, root string, analyzers []*lint.Analyzer, diags []lint.Diagnostic) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	index := make(map[string]int, len(analyzers)+1)
+	for _, a := range analyzers {
+		index[a.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		ri, ok := index[d.Analyzer]
+		if !ok {
+			ri = len(rules)
+			index[d.Analyzer] = ri
+			rules = append(rules, sarifRule{ID: d.Analyzer,
+				ShortDescription: sarifMessage{Text: "diagnostics emitted by the jetlint driver itself"}})
+		}
+		uri := d.File
+		if rel, err := filepath.Rel(root, d.File); err == nil {
+			uri = rel
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ri,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(uri), URIBaseID: "SRCROOT"},
+				Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Column},
+			}}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{Name: "jetlint", Rules: rules}},
+			OriginalURIBaseIDs: map[string]sarifArtifact{
+				"SRCROOT": {URI: "file://" + filepath.ToSlash(root) + "/"},
+			},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

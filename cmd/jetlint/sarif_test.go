@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"jetstream/internal/lint"
+)
+
+func TestWriteSARIF(t *testing.T) {
+	analyzers := []*lint.Analyzer{
+		{Name: "lockdiscipline", Doc: "locks released on every path"},
+		{Name: "hotpathalloc", Doc: "no allocation on hot paths"},
+	}
+	diags := []lint.Diagnostic{
+		{Analyzer: "hotpathalloc", File: "/repo/internal/queue/queue.go", Line: 12, Column: 7,
+			Message: "make allocates per call"},
+		{Analyzer: "jetlint", File: "/repo/jetstream.go", Line: 3, Column: 1,
+			Message: "stale jetlint:allow: panicfree reports nothing on this line"},
+	}
+
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, "/repo", analyzers, diags); err != nil {
+		t.Fatalf("writeSARIF: %v", err)
+	}
+
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "jetlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+
+	// Every enabled analyzer is a rule even when it reported nothing, and the
+	// driver's own stale-allow pseudo-analyzer is appended on demand.
+	var ids []string
+	for _, r := range run.Tool.Driver.Rules {
+		ids = append(ids, r.ID)
+	}
+	if got := strings.Join(ids, ","); got != "lockdiscipline,hotpathalloc,jetlint" {
+		t.Errorf("rule ids = %s", got)
+	}
+
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	r0 := run.Results[0]
+	if r0.RuleID != "hotpathalloc" || r0.RuleIndex != 1 || r0.Level != "error" {
+		t.Errorf("result 0 = %+v", r0)
+	}
+	loc := r0.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/queue/queue.go" {
+		t.Errorf("uri = %q, want repo-relative path", loc.ArtifactLocation.URI)
+	}
+	if loc.ArtifactLocation.URIBaseID != "SRCROOT" {
+		t.Errorf("uriBaseId = %q", loc.ArtifactLocation.URIBaseID)
+	}
+	if loc.Region.StartLine != 12 || loc.Region.StartColumn != 7 {
+		t.Errorf("region = %+v", loc.Region)
+	}
+	if ru := run.Results[1]; ru.RuleID != "jetlint" || ru.RuleIndex != 2 {
+		t.Errorf("driver pseudo-rule result = %+v", ru)
+	}
+	if base, ok := run.OriginalURIBaseIDs["SRCROOT"]; !ok || base.URI != "file:///repo/" {
+		t.Errorf("originalUriBaseIds = %+v", run.OriginalURIBaseIDs)
+	}
+}

@@ -254,6 +254,8 @@ func (e *Engine) runComputeParallel(p int) {
 
 // loop is the worker's scheduler: drain inbound cross-partition events,
 // process local rows, flush outbound staging, and exit at global quiescence.
+//
+//jetlint:hotpath
 func (w *peWorker) loop() {
 	for {
 		progress := w.drainInbox()

@@ -235,6 +235,8 @@ func (vi *versionInfo) rankIndex(g *CSR) []uint64 {
 // everywhere — when the batch cannot be absorbed in place: a vertex's slack
 // is exhausted, the receiver is a dense build, or accumulated edits exceed
 // the configured amortization threshold. Validation errors match Apply's.
+//
+//jetlint:hotpath
 func (g *CSR) ApplyDelta(b Batch) (*CSR, error) {
 	cfg := DefaultDeltaConfig()
 	if g.ver != nil {

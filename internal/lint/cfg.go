@@ -1,0 +1,524 @@
+// Intra-procedural control-flow graphs over go/ast function bodies.
+//
+// BuildCFG lowers one function body into basic blocks connected by edges,
+// covering the full statement grammar the analyzers care about: if/else,
+// for (all three clause shapes), range, switch (with fallthrough and
+// implicit default), type switch, select (each comm clause is a successor;
+// no default means no bypass edge), goto with forward label resolution,
+// labeled break/continue across arbitrary nesting, and defer/go statements
+// (recorded in the block they execute in; the deferred call itself runs at
+// function exit and is interpreted by the analyzers, not the CFG).
+//
+// Two conventions matter to the dataflow clients:
+//
+//   - Every function has one synthetic Exit block. return statements and
+//     "falling off the end" edge to it. A block whose last statement is a
+//     call that provably never returns (builtin panic, os.Exit, log.Fatal*,
+//     runtime.Goexit) is terminated instead: it gets Panics=true and no
+//     successors, so panicking branches count as function exits without
+//     polluting the states merged at Exit.
+//   - Conditional branches carry their condition on the edge: the true edge
+//     has Cond set and Negate=false, the false edge Cond set and Negate=true.
+//     Solvers use this to refine facts like "err != nil on this path"
+//     (dataflow.go); edges from range/switch/select heads carry no condition.
+//
+// The builder is purely syntactic — no type information — so it works on
+// fixtures and the real tree alike, and CFG unit tests need only a parser.
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block // Blocks[0] is the entry; Exit is always the last entry
+	Entry  *Block
+	Exit   *Block // synthetic; no Nodes
+}
+
+// Block is one basic block: a maximal straight-line sequence of AST nodes.
+// Nodes holds statements in execution order; branch conditions appear as
+// bare ast.Expr entries at the point they are evaluated (an *ast.RangeStmt
+// heads its own loop block).
+type Block struct {
+	Index  int
+	Kind   string // "entry", "if.then", "for.head", ... for debugging/tests
+	Nodes  []ast.Node
+	Succs  []*Edge
+	Preds  []*Edge
+	Panics bool // terminated by a never-returning call; no successors
+}
+
+// Edge is one directed control-flow edge.
+type Edge struct {
+	From, To *Block
+	Cond     ast.Expr // condition governing the branch, nil if unconditional
+	Negate   bool     // edge taken when Cond evaluates to false
+}
+
+// cfgLabel tracks one label's jump targets. target serves goto; brk/cont
+// are populated while the labeled loop/switch/select is being built.
+type cfgLabel struct {
+	target     *Block
+	brk, cont  *Block
+	targetUsed bool // a goto or the label statement itself referenced target
+}
+
+type cfgBuilder struct {
+	g      *CFG
+	cur    *Block // nil after an unconditional jump; revived as "unreachable"
+	labels map[string]*cfgLabel
+
+	breaks    []*Block // innermost-last stacks
+	continues []*Block
+	falls     []*Block // fallthrough targets, one per enclosing switch
+	pending   string   // label name awaiting its loop/switch statement
+}
+
+// BuildCFG constructs the CFG of body. body may be nil (declared externally
+// or assembly), in which case the graph is just entry→exit.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{Exit: &Block{Kind: "exit"}}
+	b := &cfgBuilder{g: g, labels: make(map[string]*cfgLabel)}
+	g.Entry = b.newBlock("entry")
+	b.cur = g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(g.Exit) // implicit return at the end of the body
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	return g
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge links from→to. No-op when from is nil (dead code already ended).
+func (b *cfgBuilder) edge(from, to *Block, cond ast.Expr, negate bool) {
+	if from == nil || from.Panics {
+		return
+	}
+	e := &Edge{From: from, To: to, Cond: cond, Negate: negate}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// jump ends the current block with an unconditional edge to to.
+func (b *cfgBuilder) jump(to *Block) {
+	b.edge(b.cur, to, nil, false)
+	b.cur = nil
+}
+
+// add appends a node to the current block, reviving an unreachable block if
+// control already left (so analyzers can still see dead statements).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes a pending label for the loop/switch/select statement
+// being built, returning its record (or nil).
+func (b *cfgBuilder) takeLabel() *cfgLabel {
+	if b.pending == "" {
+		return nil
+	}
+	l := b.labels[b.pending]
+	b.pending = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.EmptyStmt:
+
+	case *ast.LabeledStmt:
+		lbl := b.label(s.Label.Name)
+		b.jump(lbl.target)
+		b.cur = lbl.target
+		b.pending = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pending = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isNoReturnCall(call) {
+			b.cur.Panics = true
+			b.cur = nil
+		}
+
+	default:
+		// Assign, Decl, IncDec, Send, Defer, Go: straight-line statements.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) label(name string) *cfgLabel {
+	l := b.labels[name]
+	if l == nil {
+		l = &cfgLabel{target: b.newBlock("label." + name)}
+		b.labels[name] = l
+	}
+	return l
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.GOTO:
+		b.jump(b.label(s.Label.Name).target)
+	case token.BREAK:
+		var to *Block
+		if s.Label != nil {
+			to = b.label(s.Label.Name).brk
+		} else if n := len(b.breaks); n > 0 {
+			to = b.breaks[n-1]
+		}
+		if to != nil {
+			b.jump(to)
+		} else {
+			b.cur = nil // malformed input; don't crash the linter
+		}
+	case token.CONTINUE:
+		var to *Block
+		if s.Label != nil {
+			to = b.label(s.Label.Name).cont
+		} else if n := len(b.continues); n > 0 {
+			to = b.continues[n-1]
+		}
+		if to != nil {
+			b.jump(to)
+		} else {
+			b.cur = nil
+		}
+	case token.FALLTHROUGH:
+		if n := len(b.falls); n > 0 && b.falls[n-1] != nil {
+			b.jump(b.falls[n-1])
+		} else {
+			b.cur = nil
+		}
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	b.takeLabel() // labels on if are only goto targets; already positioned
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.cur
+
+	then := b.newBlock("if.then")
+	b.edge(head, then, s.Cond, false)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+
+	var join *Block
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(head, els, s.Cond, true)
+		b.cur = els
+		b.stmt(s.Else)
+		elseEnd := b.cur
+		if thenEnd == nil && elseEnd == nil {
+			b.cur = nil
+			return
+		}
+		join = b.newBlock("if.join")
+		b.edge(thenEnd, join, nil, false)
+		b.edge(elseEnd, join, nil, false)
+	} else {
+		join = b.newBlock("if.join")
+		b.edge(head, join, s.Cond, true)
+		b.edge(thenEnd, join, nil, false)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	lbl := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.jump(head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	head = b.cur // add may not change cur here, but keep the invariant
+
+	body := b.newBlock("for.body")
+	join := b.newBlock("for.join")
+	b.edge(head, body, s.Cond, false)
+	if s.Cond != nil {
+		b.edge(head, join, s.Cond, true)
+	}
+
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head, nil, false)
+		cont = post
+	}
+	if lbl != nil {
+		lbl.brk, lbl.cont = join, cont
+	}
+	b.breaks = append(b.breaks, join)
+	b.continues = append(b.continues, cont)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.jump(cont)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+
+	b.cur = join
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	lbl := b.takeLabel()
+	head := b.newBlock("range.head")
+	b.jump(head)
+	head.Nodes = append(head.Nodes, s) // carries X/Key/Value for analyzers
+	body := b.newBlock("range.body")
+	join := b.newBlock("range.join")
+	b.edge(head, body, nil, false)
+	b.edge(head, join, nil, false) // zero iterations
+
+	if lbl != nil {
+		lbl.brk, lbl.cont = join, head
+	}
+	b.breaks = append(b.breaks, join)
+	b.continues = append(b.continues, head)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.jump(head)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+
+	b.cur = join
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt) {
+	lbl := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("unreachable")
+		b.cur = head
+	}
+	join := b.newBlock("switch.join")
+	b.caseClauses(head, join, s.Body.List, true, lbl)
+	b.cur = join
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	lbl := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	head := b.cur
+	join := b.newBlock("typeswitch.join")
+	b.caseClauses(head, join, s.Body.List, false, lbl)
+	b.cur = join
+}
+
+// caseClauses builds the shared switch/type-switch body shape: one block per
+// case, an implicit edge head→join when no default exists, fallthrough edges
+// (plain switch only) to the next case body.
+func (b *cfgBuilder) caseClauses(head, join *Block, clauses []ast.Stmt, allowFall bool, lbl *cfgLabel) {
+	if lbl != nil {
+		lbl.brk = join
+	}
+	var bodies []*Block
+	hasDefault := false
+	for _, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		kind := "case"
+		if cc.List == nil {
+			kind = "default"
+			hasDefault = true
+		}
+		blk := b.newBlock(kind)
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		b.edge(head, blk, nil, false)
+		bodies = append(bodies, blk)
+	}
+	if !hasDefault {
+		b.edge(head, join, nil, false)
+	}
+	b.breaks = append(b.breaks, join)
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		var fall *Block
+		if allowFall && i+1 < len(bodies) {
+			fall = bodies[i+1]
+		}
+		b.falls = append(b.falls, fall)
+		b.cur = bodies[i]
+		b.stmtList(cc.Body)
+		b.jump(join)
+		b.falls = b.falls[:len(b.falls)-1]
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	lbl := b.takeLabel()
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("unreachable")
+		b.cur = head
+	}
+	join := b.newBlock("select.join")
+	if lbl != nil {
+		lbl.brk = join
+	}
+	b.breaks = append(b.breaks, join)
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		kind := "select.case"
+		if cc.Comm == nil {
+			kind = "select.default"
+		}
+		blk := b.newBlock(kind)
+		b.edge(head, blk, nil, false)
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		b.cur = blk
+		b.stmtList(cc.Body)
+		b.jump(join)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	// select{} (no clauses) blocks forever: head keeps zero successors and
+	// join is unreachable, which is exactly the semantics.
+	b.cur = join
+}
+
+// isNoReturnCall recognizes, purely syntactically, calls that never return:
+// the panic builtin and the conventional process-terminators. Shadowing would
+// fool this; none of the checked packages shadow panic/os/log/runtime.
+func isNoReturnCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fun.Sel.Name {
+		case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln", "runtime.Goexit":
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the graph compactly for golden tests and debugging:
+//
+//	b0 entry: [x := 0] -> b1
+//	b1 for.head: [x < n] -> b2(T) b4(F)
+//
+// Conditional successors are tagged (T)/(F); panic-terminated blocks are
+// tagged "panic". Node text is the printed source with whitespace collapsed.
+func (g *CFG) String() string {
+	var sb strings.Builder
+	fset := token.NewFileSet() // positions are irrelevant for rendering
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:", blk.Index, blk.Kind)
+		if len(blk.Nodes) > 0 {
+			sb.WriteString(" [")
+			for i, n := range blk.Nodes {
+				if i > 0 {
+					sb.WriteString("; ")
+				}
+				sb.WriteString(renderNode(fset, n))
+			}
+			sb.WriteString("]")
+		}
+		if blk.Panics {
+			sb.WriteString(" panic")
+		}
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, e := range blk.Succs {
+				tag := ""
+				if e.Cond != nil {
+					if e.Negate {
+						tag = "(F)"
+					} else {
+						tag = "(T)"
+					}
+				}
+				fmt.Fprintf(&sb, " b%d%s", e.To.Index, tag)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func renderNode(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

@@ -1,0 +1,351 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFuncCFG parses one function declaration and builds its CFG.
+func buildFuncCFG(t *testing.T, decl string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", "package p\n"+decl, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return BuildCFG(fd.Body)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// cfgGoldenCases pins the block/edge structure of every construct the
+// builder handles, including the edge cases the analyzers depend on: goto
+// into a loop body, labeled break/continue across nesting, select without a
+// default (no bypass edge), and panicking branches terminating as exits.
+var cfgGoldenCases = []struct {
+	name, src, want string
+}{
+	{
+		name: "straight line",
+		src:  "func f() { x := 1; x++ }",
+		want: `
+b0 entry: [x := 1; x++] -> b1
+b1 exit:
+`,
+	},
+	{
+		name: "if without else",
+		src:  "func f(c bool) { if c { g() }; h() }",
+		want: `
+b0 entry: [c] -> b1(T) b2(F)
+b1 if.then: [g()] -> b2
+b2 if.join: [h()] -> b3
+b3 exit:
+`,
+	},
+	{
+		name: "if else with init and returns",
+		src:  "func f() error { if err := g(); err != nil { return err } else { h() }; return nil }",
+		want: `
+b0 entry: [err := g(); err != nil] -> b1(T) b2(F)
+b1 if.then: [return err] -> b4
+b2 if.else: [h()] -> b3
+b3 if.join: [return nil] -> b4
+b4 exit:
+`,
+	},
+	{
+		name: "for with init cond post and break continue",
+		src:  "func f(n int) { for i := 0; i < n; i++ { if p() { break }; if q() { continue }; w() } }",
+		want: `
+b0 entry: [i := 0] -> b1
+b1 for.head: [i < n] -> b2(T) b3(F)
+b2 for.body: [p()] -> b5(T) b6(F)
+b3 for.join: -> b9
+b4 for.post: [i++] -> b1
+b5 if.then: -> b3
+b6 if.join: [q()] -> b7(T) b8(F)
+b7 if.then: -> b4
+b8 if.join: [w()] -> b4
+b9 exit:
+`,
+	},
+	{
+		name: "infinite for with break",
+		src:  "func f() { for { if p() { break } }; g() }",
+		want: `
+b0 entry: -> b1
+b1 for.head: -> b2
+b2 for.body: [p()] -> b4(T) b5(F)
+b3 for.join: [g()] -> b6
+b4 if.then: -> b3
+b5 if.join: -> b1
+b6 exit:
+`,
+	},
+	{
+		name: "range loop",
+		src:  "func f(xs []int) { for _, x := range xs { g(x) } }",
+		want: `
+b0 entry: -> b1
+b1 range.head: [for _, x := range xs { g(x) }] -> b2 b3
+b2 range.body: [g(x)] -> b1
+b3 range.join: -> b4
+b4 exit:
+`,
+	},
+	{
+		name: "switch with fallthrough and no default",
+		src:  "func f(x int) { switch x { case 1: a(); fallthrough; case 2: b() }; c() }",
+		want: `
+b0 entry: [x] -> b2 b3 b1
+b1 switch.join: [c()] -> b4
+b2 case: [1; a()] -> b3
+b3 case: [2; b()] -> b1
+b4 exit:
+`,
+	},
+	{
+		name: "switch with default",
+		src:  "func f(x int) { switch { case x > 0: a(); default: b() } }",
+		want: `
+b0 entry: -> b2 b3
+b1 switch.join: -> b4
+b2 case: [x > 0; a()] -> b1
+b3 default: [b()] -> b1
+b4 exit:
+`,
+	},
+	{
+		name: "type switch",
+		src:  "func f(v any) { switch v := v.(type) { case int: a(v); case string: b(v) }; c() }",
+		want: `
+b0 entry: [v := v.(type)] -> b2 b3 b1
+b1 typeswitch.join: [c()] -> b4
+b2 case: [int; a(v)] -> b1
+b3 case: [string; b(v)] -> b1
+b4 exit:
+`,
+	},
+	{
+		name: "select without default has no bypass edge",
+		src:  "func f(a, b chan int) { select { case x := <-a: g(x); case <-b: h() }; w() }",
+		want: `
+b0 entry: -> b2 b3
+b1 select.join: [w()] -> b4
+b2 select.case: [x := <-a; g(x)] -> b1
+b3 select.case: [<-b; h()] -> b1
+b4 exit:
+`,
+	},
+	{
+		name: "select with default",
+		src:  "func f(a chan int) { select { case <-a: g(); default: } }",
+		want: `
+b0 entry: -> b2 b3
+b1 select.join: -> b4
+b2 select.case: [<-a; g()] -> b1
+b3 select.default: -> b1
+b4 exit:
+`,
+	},
+	{
+		name: "empty select blocks forever",
+		src:  "func f() { select {}; g() }",
+		want: `
+b0 entry:
+b1 select.join: [g()] -> b2
+b2 exit:
+`,
+	},
+	{
+		name: "goto into loop body",
+		src:  "func f() { goto inner; for { inner: g(); if p() { return } } }",
+		want: `
+b0 entry: -> b1
+b1 label.inner: [g(); p()] -> b5(T) b6(F)
+b2 for.head: -> b3
+b3 for.body: -> b1
+b4 for.join: -> b7
+b5 if.then: [return] -> b7
+b6 if.join: -> b2
+b7 exit:
+`,
+	},
+	{
+		name: "labeled break and continue across nesting",
+		src: `func f(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for {
+			if p() {
+				break outer
+			}
+			if q() {
+				continue outer
+			}
+		}
+	}
+	done()
+}`,
+		want: `
+b0 entry: -> b1
+b1 label.outer: [i := 0] -> b2
+b2 for.head: [i < n] -> b3(T) b4(F)
+b3 for.body: -> b6
+b4 for.join: [done()] -> b13
+b5 for.post: [i++] -> b2
+b6 for.head: -> b7
+b7 for.body: [p()] -> b9(T) b10(F)
+b8 for.join: -> b5
+b9 if.then: -> b4
+b10 if.join: [q()] -> b11(T) b12(F)
+b11 if.then: -> b5
+b12 if.join: -> b6
+b13 exit:
+`,
+	},
+	{
+		name: "panic branch is a terminal exit",
+		src:  "func f(x int) { if x < 0 { panic(\"neg\") }; g() }",
+		want: `
+b0 entry: [x < 0] -> b1(T) b2(F)
+b1 if.then: [panic("neg")] panic
+b2 if.join: [g()] -> b3
+b3 exit:
+`,
+	},
+	{
+		name: "os.Exit and log.Fatalf terminate",
+		src:  "func f(x int) { switch { case x == 1: os.Exit(2); case x == 2: log.Fatalf(\"no\") }; g() }",
+		want: `
+b0 entry: -> b2 b3 b1
+b1 switch.join: [g()] -> b4
+b2 case: [x == 1; os.Exit(2)] panic
+b3 case: [x == 2; log.Fatalf("no")] panic
+b4 exit:
+`,
+	},
+	{
+		name: "defer and go are straight-line statements",
+		src:  "func f(mu sync.Locker) { mu.Lock(); defer mu.Unlock(); go h() }",
+		want: `
+b0 entry: [mu.Lock(); defer mu.Unlock(); go h()] -> b1
+b1 exit:
+`,
+	},
+	{
+		name: "code after return is unreachable but kept",
+		src:  "func f() int { return 1; g(); return 2 }",
+		want: `
+b0 entry: [return 1] -> b2
+b1 unreachable: [g(); return 2] -> b2
+b2 exit:
+`,
+	},
+}
+
+func TestCFGGolden(t *testing.T) {
+	for _, tc := range cfgGoldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildFuncCFG(t, tc.src)
+			got := strings.TrimSpace(g.String())
+			want := strings.TrimSpace(tc.want)
+			if got != want {
+				t.Errorf("CFG mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestCFGInvariants checks the structural properties the dataflow layer
+// relies on, across every golden case: entry first, exit last, edge symmetry
+// between Succs and Preds, and panic blocks having no successors.
+func TestCFGInvariants(t *testing.T) {
+	for _, tc := range cfgGoldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildFuncCFG(t, tc.src)
+			if g.Blocks[0] != g.Entry {
+				t.Error("entry is not Blocks[0]")
+			}
+			if g.Blocks[len(g.Blocks)-1] != g.Exit {
+				t.Error("exit is not the last block")
+			}
+			if len(g.Exit.Succs) != 0 || len(g.Exit.Nodes) != 0 {
+				t.Error("exit must be empty with no successors")
+			}
+			for i, blk := range g.Blocks {
+				if blk.Index != i && blk != g.Exit {
+					t.Errorf("block %d has Index %d", i, blk.Index)
+				}
+				if blk.Panics && len(blk.Succs) != 0 {
+					t.Errorf("panic block b%d has successors", blk.Index)
+				}
+				for _, e := range blk.Succs {
+					if e.From != blk {
+						t.Errorf("edge from b%d has wrong From", blk.Index)
+					}
+					found := false
+					for _, p := range e.To.Preds {
+						if p == e {
+							found = true
+						}
+					}
+					if !found {
+						t.Errorf("edge b%d->b%d missing from Preds", blk.Index, e.To.Index)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSolveReachingFlag exercises the generic solver with a tiny "has g()
+// been called" gen-only lattice, including refinement on the err != nil
+// edge: along the error edge the fact is cleared, so the join below sees
+// "maybe" (here modeled as max = reached).
+func TestSolveReachingFlag(t *testing.T) {
+	g := buildFuncCFG(t, "func f() { for i := 0; i < 3; i++ { g() }; h() }")
+	calls := func(b *Block) int {
+		n := 0
+		for _, node := range b.Nodes {
+			ast.Inspect(node, func(x ast.Node) bool {
+				if c, ok := x.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "g" {
+						n++
+					}
+				}
+				return true
+			})
+		}
+		return n
+	}
+	in := Solve(g, Flow[bool]{
+		Entry:    false,
+		Transfer: func(b *Block, in bool) bool { return in || calls(b) > 0 },
+		Merge:    func(a, b bool) bool { return a || b },
+		Equal:    func(a, b bool) bool { return a == b },
+	})
+	// The loop head merges entry (false) and the back edge (true): the body
+	// may or may not have run, so the head's in-state must be true only via
+	// the back edge — i.e. present and true after fixpoint.
+	headIn, ok := in[g.Blocks[1]]
+	if !ok || !headIn {
+		t.Errorf("loop head in-state = %v, %v; want true after back-edge merge", headIn, ok)
+	}
+	exitIn, ok := in[g.Exit]
+	if !ok || !exitIn {
+		t.Errorf("exit in-state = %v, %v; want true", exitIn, ok)
+	}
+	// Every reachable block got a state; the solver visited a bounded set.
+	if len(in) == 0 || len(in) > len(g.Blocks) {
+		t.Errorf("solver returned %d states for %d blocks", len(in), len(g.Blocks))
+	}
+}

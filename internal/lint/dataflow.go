@@ -1,0 +1,220 @@
+// Generic forward dataflow over the CFGs of cfg.go.
+//
+// An analyzer describes its lattice with a Flow[T]: a pure Transfer function
+// mapping a block's entry state to its exit state, a Merge for join points,
+// Equal for the fixpoint test, and an optional Refine that sharpens the
+// state along a conditional edge (the mechanism behind "the lock is held
+// only on the err == nil path of a TryLock-style acquire"). Solve runs the
+// classic worklist iteration to a fixpoint and returns the entry state of
+// every reachable block; unreachable blocks get no state, so analyzers
+// silently skip dead code.
+//
+// Transfer must not report diagnostics — it runs an unbounded number of
+// times during iteration. The pattern the analyzers use is a single step
+// function with a report switch: Solve calls it silently, then the analyzer
+// replays it once per reachable block with reporting enabled.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Flow describes one forward dataflow problem over states of type T.
+// T must be treated as immutable by all four functions: Transfer and Refine
+// return fresh values rather than mutating their argument.
+type Flow[T any] struct {
+	Entry    T                      // state at function entry
+	Transfer func(b *Block, in T) T // block effect; must be pure
+	Refine   func(e *Edge, out T) T // optional per-edge sharpening; may be nil
+	Merge    func(a, b T) T         // join of two predecessor states
+	Equal    func(a, b T) bool      // fixpoint test
+}
+
+// Solve iterates f over g to a fixpoint and returns each reachable block's
+// entry state. The worklist is processed in block-index order, which makes
+// iteration deterministic (reports and performance do not depend on map
+// ordering).
+func Solve[T any](g *CFG, f Flow[T]) map[*Block]T {
+	in := make(map[*Block]T, len(g.Blocks))
+	in[g.Entry] = f.Entry
+	queued := make([]bool, len(g.Blocks))
+	queue := []int{g.Entry.Index}
+	queued[g.Entry.Index] = true
+
+	for len(queue) > 0 {
+		// Pop the lowest index: approximates reverse postorder on the
+		// reducible graphs Go produces, keeping iteration counts small.
+		best := 0
+		for i := range queue {
+			if queue[i] < queue[best] {
+				best = i
+			}
+		}
+		idx := queue[best]
+		queue[best] = queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		queued[idx] = false
+
+		blk := g.Blocks[idx]
+		out := f.Transfer(blk, in[blk])
+		for _, e := range blk.Succs {
+			v := out
+			if f.Refine != nil {
+				v = f.Refine(e, out)
+			}
+			prev, ok := in[e.To]
+			next := v
+			if ok {
+				next = f.Merge(prev, v)
+			}
+			if !ok || !f.Equal(prev, next) {
+				in[e.To] = next
+				if !queued[e.To.Index] {
+					queue = append(queue, e.To.Index)
+					queued[e.To.Index] = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// ---- shared condition facts ----
+
+// condFact is the normal form of the refinable branch conditions: a single
+// variable compared against nil, or a bare boolean variable. Analyzers map
+// "acquired a lock iff err is nil" style facts onto the variable object.
+type condFact struct {
+	obj      types.Object
+	isNilCmp bool // "obj == nil" / "obj != nil" rather than bare bool
+	value    bool // truth of the *comparison shown in source* on this edge
+}
+
+// refineCond normalizes an edge's condition into a condFact: which variable
+// it tests and what its truth is along this edge. Handles `v`, `!v`,
+// `x == nil`, `x != nil` (either operand order). Returns false for anything
+// else — notably short-circuit &&/|| chains, which the CFG does not split;
+// analyzers stay conservative there.
+func refineCond(info *types.Info, e *Edge) (condFact, bool) {
+	if e.Cond == nil {
+		return condFact{}, false
+	}
+	value := !e.Negate
+	expr := ast.Unparen(e.Cond)
+	for {
+		un, ok := expr.(*ast.UnaryExpr)
+		if !ok || un.Op != token.NOT {
+			break
+		}
+		value = !value
+		expr = ast.Unparen(un.X)
+	}
+	switch x := expr.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil {
+			return condFact{obj: obj, value: value}, true
+		}
+	case *ast.SelectorExpr:
+		if obj := info.Uses[x.Sel]; obj != nil {
+			return condFact{obj: obj, value: value}, true
+		}
+	case *ast.BinaryExpr:
+		if x.Op != token.EQL && x.Op != token.NEQ {
+			return condFact{}, false
+		}
+		operand := ast.Unparen(x.X)
+		if isNilIdent(operand) {
+			operand = ast.Unparen(x.Y)
+		} else if !isNilIdent(ast.Unparen(x.Y)) {
+			return condFact{}, false
+		}
+		id, ok := operand.(*ast.Ident)
+		if !ok {
+			return condFact{}, false
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return condFact{}, false
+		}
+		// Normalize to the truth of "obj == nil" on this edge.
+		isNil := value
+		if x.Op == token.NEQ {
+			isNil = !isNil
+		}
+		return condFact{obj: obj, isNilCmp: true, value: isNil}, true
+	}
+	return condFact{}, false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// ---- shared function-shape helpers ----
+
+// funcsOfFile yields every function declaration with a body in f.
+func funcsOfFile(f *ast.File, fn func(*ast.FuncDecl)) {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			fn(fd)
+		}
+	}
+}
+
+// returnsError reports whether the function's last result is an error, and
+// hands back the result count. Analyzers use it to classify return
+// statements into success and error exits.
+func returnsError(info *types.Info, fd *ast.FuncDecl) (bool, int) {
+	if fd.Type.Results == nil {
+		return false, 0
+	}
+	n := 0
+	var last ast.Expr
+	for _, fld := range fd.Type.Results.List {
+		c := len(fld.Names)
+		if c == 0 {
+			c = 1
+		}
+		n += c
+		last = fld.Type
+	}
+	tv, ok := info.Types[last]
+	if !ok {
+		return false, n
+	}
+	return isErrorType(tv.Type), n
+}
+
+// isErrorReturn classifies a return statement in a function whose last
+// result is an error: true when the statement definitely returns a non-nil
+// error (its last expression is anything but the predeclared nil). Bare
+// returns (named results) and single-call multi-value returns are treated
+// as success — the conservative direction for analyzers that relax checks
+// on error paths.
+func isErrorReturn(ret *ast.ReturnStmt, nresults int) bool {
+	if len(ret.Results) == 0 || len(ret.Results) != nresults {
+		return false
+	}
+	return !isNilIdent(ast.Unparen(ret.Results[len(ret.Results)-1]))
+}
+
+// renderRef prints the variable/selector chain of e ("s.mu", "t.sys.wal"),
+// or "" if e is not a pure chain of identifiers and field selections.
+// Analyzers use the rendered chain as the intra-procedural identity of a
+// lock or journal object.
+func renderRef(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := renderRef(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}

@@ -19,14 +19,29 @@
 //     cmd/jetstream) must not silently discard the error of Close or Sync; a
 //     dropped fsync error is a dropped durability guarantee.
 //
+// Three analyzers are flow-sensitive, built on the intra-procedural CFG and
+// worklist dataflow solver in cfg.go/dataflow.go:
+//
+//   - lockdiscipline: every Lock/RLock (and the System acquire/release CAS
+//     guard) is released on all paths out of the function, never acquired
+//     twice on one path, and never held across a return.
+//   - hotpathalloc: functions annotated //jetlint:hotpath must not contain
+//     allocation-inducing constructs on paths that reach a successful exit.
+//   - journalorder: on commit paths, the WAL append precedes every state
+//     mutation, nothing mutates after a failed append, and journaled batches
+//     are applied before a successful return.
+//
 // A diagnostic can be suppressed with a justified escape hatch on the same
-// line or the line above:
+// line or the line above, naming one or more analyzers:
 //
 //	//jetlint:allow determinism -- wall clock feeds the operator log only
+//	//jetlint:allow lockdiscipline,hotpathalloc -- reason
 //
 // The justification after "--" is mandatory; a directive without one is
-// itself reported. Everything here is standard library only (go/parser,
-// go/ast, go/types); see load.go for how the module is type-checked offline.
+// itself reported, as is a stale directive — one naming an analyzer that ran
+// but reported nothing on that line, which would otherwise rot into a blanket
+// waiver. Everything here is standard library only (go/parser, go/ast,
+// go/types); see load.go for how the module is type-checked offline.
 package lint
 
 import (
@@ -79,7 +94,10 @@ type Analyzer struct {
 
 // All returns the full suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Atomicmix, Determinism, Panicfree, Errwrap, Syncerr}
+	return []*Analyzer{
+		Atomicmix, Determinism, Panicfree, Errwrap, Syncerr,
+		Lockdiscipline, Hotpathalloc, Journalorder,
+	}
 }
 
 // Run executes the analyzers over m, applies //jetlint:allow suppressions,
@@ -88,8 +106,10 @@ func All() []*Analyzer {
 // "jetlint" and suppress nothing.
 func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		name := a.Name
+		ran[name] = true
 		pass := &Pass{Mod: m, report: func(pos token.Pos, msg string) {
 			p := m.Fset.Position(pos)
 			diags = append(diags, Diagnostic{
@@ -108,6 +128,7 @@ func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 		kept = append(kept, d)
 	}
 	diags = append(kept, malformed...)
+	diags = append(diags, staleDirectives(allows, ran)...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -124,9 +145,13 @@ func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// directive is one parsed //jetlint:allow comment.
+// directive is one parsed //jetlint:allow comment. used records, per named
+// analyzer, whether the directive actually suppressed a diagnostic — the
+// input to stale-directive detection.
 type directive struct {
 	analyzers map[string]bool
+	pos       Diagnostic // position fields only, for stale reporting
+	used      map[string]bool
 }
 
 const allowPrefix = "//jetlint:allow"
@@ -134,8 +159,8 @@ const allowPrefix = "//jetlint:allow"
 // collectDirectives parses every //jetlint:allow comment in the module into
 // a file -> line -> directives index, and returns diagnostics for malformed
 // ones (missing the mandatory "-- justification").
-func collectDirectives(m *Module) (map[string]map[int][]directive, []Diagnostic) {
-	allows := make(map[string]map[int][]directive)
+func collectDirectives(m *Module) (map[string]map[int][]*directive, []Diagnostic) {
+	allows := make(map[string]map[int][]*directive)
 	var malformed []Diagnostic
 	for _, pkg := range m.Pkgs {
 		for _, f := range pkg.Files {
@@ -159,13 +184,19 @@ func collectDirectives(m *Module) (map[string]map[int][]directive, []Diagnostic)
 						})
 						continue
 					}
-					d := directive{analyzers: make(map[string]bool)}
+					d := &directive{
+						analyzers: make(map[string]bool),
+						used:      make(map[string]bool),
+						pos: Diagnostic{
+							Pos: p, File: p.Filename, Line: p.Line, Column: p.Column,
+						},
+					}
 					for _, n := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' }) {
 						d.analyzers[n] = true
 					}
 					byLine := allows[p.Filename]
 					if byLine == nil {
-						byLine = make(map[int][]directive)
+						byLine = make(map[int][]*directive)
 						allows[p.Filename] = byLine
 					}
 					byLine[p.Line] = append(byLine[p.Line], d)
@@ -177,20 +208,54 @@ func collectDirectives(m *Module) (map[string]map[int][]directive, []Diagnostic)
 }
 
 // suppressed reports whether a directive on d's line or the line above names
-// d's analyzer.
-func suppressed(allows map[string]map[int][]directive, d Diagnostic) bool {
+// d's analyzer, and marks every such directive as used for that analyzer.
+func suppressed(allows map[string]map[int][]*directive, d Diagnostic) bool {
 	byLine := allows[d.File]
 	if byLine == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{d.Line, d.Line - 1} {
 		for _, dir := range byLine[line] {
 			if dir.analyzers[d.Analyzer] {
-				return true
+				if dir.used == nil {
+					dir.used = make(map[string]bool)
+				}
+				dir.used[d.Analyzer] = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// staleDirectives reports every well-formed allow directive naming an
+// analyzer that ran in this invocation but had nothing to suppress on the
+// directive's line — dead waivers that would silently cover future code.
+// Analyzers outside the run set are left alone: a partial run (driver
+// flags) cannot tell whether the directive still earns its keep.
+func staleDirectives(allows map[string]map[int][]*directive, ran map[string]bool) []Diagnostic {
+	var stale []Diagnostic
+	for _, byLine := range allows {
+		for _, dirs := range byLine {
+			for _, dir := range dirs {
+				names := make([]string, 0, len(dir.analyzers))
+				for name := range dir.analyzers {
+					if ran[name] && !dir.used[name] {
+						names = append(names, name)
+					}
+				}
+				sort.Strings(names)
+				for _, name := range names {
+					d := dir.pos
+					d.Analyzer = "jetlint"
+					d.Message = fmt.Sprintf("stale jetlint:allow: %s reports nothing on this line; delete the directive or the name", name)
+					stale = append(stale, d)
+				}
+			}
+		}
+	}
+	return stale
 }
 
 // ---- shared AST/type helpers ----

@@ -3,6 +3,9 @@ package lint
 import (
 	"encoding/json"
 	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"path/filepath"
 	"regexp"
 	"strconv"
@@ -24,6 +27,9 @@ var fixtureCases = []struct {
 	{"panicfree", "jetstream", Panicfree},
 	{"errwrap", "jetstream", Errwrap},
 	{"syncerr", "jetstream/internal/wal", Syncerr},
+	{"lockdiscipline", "jetstream/internal/service", Lockdiscipline},
+	{"hotpathalloc", "jetstream/internal/queue", Hotpathalloc},
+	{"journalorder", "jetstream/internal/host", Journalorder},
 }
 
 func TestAnalyzers(t *testing.T) {
@@ -113,7 +119,7 @@ func checkWants(t *testing.T, mod *Module, diags []Diagnostic) {
 // TestSuppressionRequiresMatchingName checks that a directive naming a
 // different analyzer does not suppress a diagnostic.
 func TestSuppressionRequiresMatchingName(t *testing.T) {
-	allows := map[string]map[int][]directive{
+	allows := map[string]map[int][]*directive{
 		"f.go": {10: {{analyzers: map[string]bool{"errwrap": true}}}},
 	}
 	d := Diagnostic{Analyzer: "determinism", File: "f.go", Line: 10}
@@ -161,7 +167,92 @@ func TestAllNames(t *testing.T) {
 		names = append(names, a.Name)
 	}
 	got := strings.Join(names, ",")
-	if got != "atomicmix,determinism,panicfree,errwrap,syncerr" {
+	if got != "atomicmix,determinism,panicfree,errwrap,syncerr,lockdiscipline,hotpathalloc,journalorder" {
 		t.Fatalf("All() = %s", got)
+	}
+}
+
+// TestDirectiveMultiAnalyzer pins the multi-analyzer directive grammar: both
+// comma- and space-separated name lists suppress each named analyzer, and
+// only those.
+func TestDirectiveMultiAnalyzer(t *testing.T) {
+	mod := parseDirectiveModule(t, `package p
+
+var a = 1 //jetlint:allow determinism,syncerr -- both fire here
+var b = 2 //jetlint:allow determinism syncerr -- space-separated works too
+var c = 3 //jetlint:allow determinism, syncerr -- comma plus space too
+`)
+	allows, malformed := collectDirectives(mod)
+	if len(malformed) != 0 {
+		t.Fatalf("malformed = %v", malformed)
+	}
+	byLine := allows["d.go"]
+	if byLine == nil {
+		t.Fatal("no directives collected for d.go")
+	}
+	for _, line := range []int{3, 4, 5} {
+		dirs := byLine[line]
+		if len(dirs) != 1 {
+			t.Fatalf("line %d: %d directives, want 1", line, len(dirs))
+		}
+		d := dirs[0]
+		if len(d.analyzers) != 2 || !d.analyzers["determinism"] || !d.analyzers["syncerr"] {
+			t.Errorf("line %d: analyzers = %v, want determinism+syncerr", line, d.analyzers)
+		}
+		for _, name := range []string{"determinism", "syncerr"} {
+			if !suppressed(allows, Diagnostic{Analyzer: name, File: "d.go", Line: line}) {
+				t.Errorf("line %d: %s not suppressed", line, name)
+			}
+		}
+		if suppressed(allows, Diagnostic{Analyzer: "errwrap", File: "d.go", Line: line}) {
+			t.Errorf("line %d: errwrap suppressed without being named", line)
+		}
+	}
+}
+
+// TestStaleDirectives checks that an allow directive suppressing nothing is
+// reported as its own diagnostic — but only for analyzers that actually ran,
+// so partial runs don't cry wolf.
+func TestStaleDirectives(t *testing.T) {
+	mod := parseDirectiveModule(t, `package p
+
+var a = 1 //jetlint:allow determinism,syncerr -- neither fires here
+`)
+	allows, _ := collectDirectives(mod)
+	stale := staleDirectives(allows, map[string]bool{"determinism": true})
+	if len(stale) != 1 {
+		t.Fatalf("stale = %v, want exactly the ran-but-unused determinism", stale)
+	}
+	d := stale[0]
+	if d.Analyzer != "jetlint" || d.File != "d.go" || d.Line != 3 ||
+		!strings.Contains(d.Message, "determinism") {
+		t.Fatalf("stale diagnostic = %+v", d)
+	}
+	if strings.Contains(d.Message, "syncerr") {
+		t.Fatal("syncerr did not run; its directive half must not be reported")
+	}
+
+	// Once the directive suppresses a determinism diagnostic, it is earned.
+	if !suppressed(allows, Diagnostic{Analyzer: "determinism", File: "d.go", Line: 3}) {
+		t.Fatal("directive did not suppress")
+	}
+	if got := staleDirectives(allows, map[string]bool{"determinism": true}); len(got) != 0 {
+		t.Fatalf("used directive reported stale: %v", got)
+	}
+}
+
+// parseDirectiveModule builds a one-file module in memory for directive
+// tests, bypassing type checking (directives are purely lexical).
+func parseDirectiveModule(t *testing.T, src string) *Module {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Module{
+		Fset: fset,
+		Path: "jetstream",
+		Pkgs: []*Package{{Path: "jetstream", Files: []*ast.File{f}}},
 	}
 }

@@ -1,0 +1,148 @@
+// Fixture for the hotpathalloc analyzer: every banned allocation-inducing
+// construct inside //jetlint:hotpath functions, the error-path and
+// panic-path exemptions, the capacity-hinted append escape, and unannotated
+// functions as the baseline regression.
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+type event struct {
+	target int
+	weight float64
+}
+
+type ring struct {
+	slots   []event
+	scratch []event
+	byKey   map[int]event
+}
+
+// ---- positives ----
+
+//jetlint:hotpath
+func makeInHotPath(r *ring) []event {
+	out := make([]event, 0, len(r.slots)) // want "make allocates per call"
+	return out
+}
+
+//jetlint:hotpath
+func literalsInHotPath(r *ring, e event) {
+	m := map[int]event{e.target: e} // want "map literal allocates"
+	s := []event{e}                 // want "slice literal allocates"
+	p := &event{target: 1}          // want "heap-allocates per call"
+	q := new(event)                 // want "heap-allocates per call"
+	_, _, _, _ = m, s, p, q
+}
+
+//jetlint:hotpath
+func unhintedAppend(r *ring, e event) {
+	r.slots = append(r.slots, e) // want "append may grow its backing array"
+}
+
+//jetlint:hotpath
+func capturingClosure(r *ring) func() int {
+	f := func() int { return len(r.slots) } // want "captures r and allocates a closure"
+	return f
+}
+
+//jetlint:hotpath
+func interfaceBoxing(r *ring) {
+	sort.Slice(r.slots, func(i, j int) bool { // want "passing \\[\\]event to an interface parameter boxes" "captures r and allocates a closure"
+		return r.slots[i].target < r.slots[j].target
+	})
+}
+
+type stats struct{ rounds int }
+
+func sink(v any) {}
+
+//jetlint:hotpath
+func valueBoxing(s stats) {
+	sink(s) // want "passing stats to an interface parameter boxes"
+}
+
+//jetlint:hotpath
+func fmtAndConcat(name string, n int) string {
+	msg := fmt.Sprintf("%s-%d", name, n) // want "fmt.Sprintf allocates"
+	return msg + "!"                     // want "string concatenation allocates"
+}
+
+// ---- exemptions and regressions ----
+
+// Error paths may allocate freely: the formatting only runs when the batch
+// is rejected, not per event.
+//
+//jetlint:hotpath
+func errorPathExempt(r *ring, e event) error {
+	if e.target < 0 {
+		return fmt.Errorf("queue: negative target %d in %v", e.target, []int{e.target})
+	}
+	if e.target >= len(r.slots) {
+		panic(fmt.Sprintf("queue: target %d out of range", e.target))
+	}
+	r.slots[e.target] = e
+	return nil
+}
+
+// Appending into a buffer resliced from a reused allocation is the
+// sanctioned pattern — the backing array is owned by the ring.
+//
+//jetlint:hotpath
+func hintedAppendExempt(r *ring, es []event) int {
+	batch := r.scratch[:0]
+	for _, e := range es {
+		batch = append(batch, e)
+	}
+	return len(batch)
+}
+
+// Non-capturing literals compile to static functions: no closure allocation.
+//
+//jetlint:hotpath
+func nonCapturingLiteralExempt(r *ring) {
+	cmp := func(a, b event) bool { return a.target < b.target }
+	if len(r.slots) > 1 && cmp(r.slots[1], r.slots[0]) {
+		r.slots[0], r.slots[1] = r.slots[1], r.slots[0]
+	}
+}
+
+// Pointers, funcs, and interfaces passed to interface parameters do not box.
+//
+//jetlint:hotpath
+func referenceArgsExempt(r *ring, err error) {
+	sink(r)
+	sink(err)
+	sink(nil)
+}
+
+// Plain struct value literals live on the stack.
+//
+//jetlint:hotpath
+func valueLiteralExempt(r *ring, t int) {
+	r.slots[t] = event{target: t}
+}
+
+// The sanctioned once-per-call allocation: documented and suppressed.
+//
+//jetlint:hotpath
+func sanctionedAllocation(r *ring) []event {
+	out := make([]event, len(r.slots)) //jetlint:allow hotpathalloc -- the returned snapshot is this call's one sanctioned allocation
+	copy(out, r.slots)
+	return out
+}
+
+// Unannotated functions may allocate however they like.
+func unannotatedBaseline(r *ring) map[int]event {
+	m := make(map[int]event, len(r.slots))
+	for _, e := range r.slots {
+		m[e.target] = e
+	}
+	var errs []error
+	errs = append(errs, errors.New("fine"))
+	_ = fmt.Sprint(errs)
+	return m
+}

@@ -1,0 +1,227 @@
+// Fixture for the lockdiscipline analyzer: leaked locks, double locks,
+// double unlocks, conditional acquisition (TryLock and the acquire/release
+// CAS guard), and the false-positive regressions for every clean pattern
+// the service layer actually uses.
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+type tenant struct {
+	mu sync.Mutex
+	n  int
+}
+
+type registry struct {
+	mu  sync.RWMutex
+	set map[string]*tenant
+}
+
+// ---- positives ----
+
+func leakOnReturn(t *tenant) int {
+	t.mu.Lock()
+	return t.n // want "return exits while holding t.mu"
+}
+
+func leakOnSomePaths(t *tenant, fast bool) int {
+	t.mu.Lock()
+	if fast {
+		return t.n // want "return exits while holding t.mu"
+	}
+	n := t.n
+	t.mu.Unlock()
+	return n
+}
+
+func maybeHeldAtReturn(t *tenant, c bool) {
+	if c {
+		t.mu.Lock()
+	}
+	t.n++
+	// The unlock is missing on the c path entirely.
+	return // want "return may exit while holding t.mu"
+}
+
+func leakFallingOffEnd(t *tenant) {
+	t.mu.Lock()
+	t.n++
+} // want "function exit exits while holding t.mu"
+
+func doubleLock(t *tenant) {
+	t.mu.Lock()
+	t.mu.Lock() // want "t.mu acquired again while already held"
+	t.mu.Unlock()
+}
+
+func doubleLockViaBranch(t *tenant, c bool) {
+	t.mu.Lock()
+	if c {
+		t.mu.Lock() // want "t.mu acquired again while already held"
+		t.mu.Unlock()
+	}
+	t.mu.Unlock()
+}
+
+func unlockNotHeld(t *tenant) {
+	t.mu.Unlock() // want "t.mu released but not held"
+}
+
+func unlockTwiceWithDefer(t *tenant) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n++
+	t.mu.Unlock()
+	return // want "deferred unlock of t.mu runs with the lock already released"
+}
+
+func readLockLeak(r *registry, k string) *tenant {
+	r.mu.RLock()
+	return r.set[k] // want "return exits while holding r.mu"
+}
+
+// lockedHandoff returns with the lock held on purpose; the annotation both
+// documents and suppresses it.
+func lockedHandoff(t *tenant) *tenant {
+	t.mu.Lock()
+	return t //jetlint:allow lockdiscipline -- caller unlocks after the handoff
+}
+
+// ---- the acquire/release CAS guard ----
+
+type system struct {
+	busy bool
+}
+
+var errBusy = errors.New("busy")
+
+func (s *system) acquire(op string) error {
+	if s.busy {
+		return errBusy
+	}
+	s.busy = true
+	return nil
+}
+
+func (s *system) release() { s.busy = false }
+
+func guardLeak(s *system, work func()) error {
+	if err := s.acquire("leak"); err != nil {
+		return err
+	}
+	work()
+	return nil // want "return exits while holding s.acquire"
+}
+
+func guardLeakOnBranch(s *system, bad bool) error {
+	if err := s.acquire("branch"); err != nil {
+		return err
+	}
+	if bad {
+		return errBusy // want "return exits while holding s.acquire"
+	}
+	s.release()
+	return nil
+}
+
+// ---- false-positive regressions ----
+
+func cleanDeferPair(t *tenant) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+func cleanExplicitBranches(r *registry, k string) (*tenant, error) {
+	r.mu.Lock()
+	if r.set == nil {
+		r.mu.Unlock()
+		return nil, errors.New("closed")
+	}
+	t, ok := r.set[k]
+	if !ok {
+		r.mu.Unlock()
+		return nil, errors.New("missing")
+	}
+	r.mu.Unlock()
+	return t, nil
+}
+
+func cleanGuard(s *system, work func()) error {
+	if err := s.acquire("ok"); err != nil {
+		return err
+	}
+	defer s.release()
+	work()
+	return nil
+}
+
+func cleanGuardExplicit(s *system) error {
+	err := s.acquire("explicit")
+	if err != nil {
+		return err
+	}
+	s.release()
+	return nil
+}
+
+func cleanTryLockCond(t *tenant) bool {
+	if t.mu.TryLock() {
+		t.n++
+		t.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+func cleanTryLockBound(t *tenant) {
+	ok := t.mu.TryLock()
+	if ok {
+		t.n++
+		t.mu.Unlock()
+	}
+}
+
+func cleanLockPerIteration(ts []*tenant) int {
+	sum := 0
+	for _, t := range ts {
+		t.mu.Lock()
+		sum += t.n
+		t.mu.Unlock()
+	}
+	return sum
+}
+
+func cleanDeferredClosure(t *tenant) {
+	t.mu.Lock()
+	defer func() {
+		t.n++
+		t.mu.Unlock()
+	}()
+	t.n++
+}
+
+func cleanClosureOwnsItsLock(t *tenant) func() {
+	undo := func() {
+		t.mu.Lock()
+		t.n--
+		t.mu.Unlock()
+	}
+	return undo
+}
+
+func cleanReadLock(r *registry) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.set)
+}
+
+func cleanTwoLocksNested(r *registry, t *tenant) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n + len(r.set)
+}

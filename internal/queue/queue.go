@@ -54,6 +54,9 @@ type Coalescing struct {
 	n     int
 	slots []event.Event
 	occ   *occupancy
+	// drain is the reusable row-batch scratch buffer; DrainRound reslices it
+	// instead of allocating a fresh batch every round.
+	drain []event.Event
 
 	coalescingOn bool
 	overflow     []event.Event // non-coalescing mode: extra events, FIFO
@@ -109,6 +112,7 @@ func (q *Coalescing) ensure() {
 	}
 	q.slots = make([]event.Event, q.n)
 	q.occ = newOccupancy(q.n, q.cfg.RowSize)
+	q.drain = make([]event.Event, 0, q.cfg.RowSize)
 }
 
 // SetCoalescing toggles event coalescing. JetStream disables it during the
@@ -182,6 +186,8 @@ func (q *Coalescing) Rows() int {
 // cursor only moves forward, which preserves the dense-scan ordering
 // contract above — a same-row or earlier-row reinsertion waits for the next
 // round even if its row still has the occupancy bit set.
+//
+//jetlint:hotpath
 func (q *Coalescing) DrainRound(fn func(batch []event.Event)) int {
 	if q.occ == nil {
 		// Nothing was ever inserted; count the (empty) round for parity with
@@ -191,10 +197,10 @@ func (q *Coalescing) DrainRound(fn func(batch []event.Event)) int {
 		return 0
 	}
 	emitted := 0
-	batch := make([]event.Event, 0, q.cfg.RowSize)
+	batch := q.drain[:0]
 	for row := q.occ.nextRow(0); row >= 0; row = q.occ.nextRow(row + 1) {
 		batch = batch[:0]
-		q.occ.drainRow(row, func(slot int) {
+		q.occ.drainRow(row, func(slot int) { //jetlint:allow hotpathalloc -- the row visitor does not escape drainRow and stays on the stack
 			batch = append(batch, q.slots[slot])
 		})
 		if len(batch) > 0 {

@@ -25,7 +25,7 @@ package window
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"jetstream/internal/graph"
 )
@@ -42,6 +42,31 @@ type Key struct {
 type Entry struct {
 	Src, Dst graph.VertexID
 	Epoch    uint64
+}
+
+// cmpKey orders keys by (src,dst). A named, non-capturing comparator feeds
+// slices.SortFunc without allocating: the sort.Slice formulation boxed the
+// slice into an interface and built a closure plus a reflect-based swapper
+// on every expiry.
+func cmpKey(a, b Key) int {
+	if a.Src != b.Src {
+		if a.Src < b.Src {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.Dst < b.Dst:
+		return -1
+	case a.Dst > b.Dst:
+		return 1
+	}
+	return 0
+}
+
+// cmpEntry orders entries by (src,dst) — pairs are unique, so no tiebreak.
+func cmpEntry(a, b Entry) int {
+	return cmpKey(Key{a.Src, a.Dst}, Key{b.Src, b.Dst})
 }
 
 // Ring tracks per-edge insertion age over a sliding window of TTL batch
@@ -125,12 +150,21 @@ func (r *Ring) Record(epoch uint64, b graph.Batch) {
 // recording) are skipped. skip, when non-nil, marks pairs the caller is
 // already deleting in this batch: they leave the age map but are excluded
 // from the returned set so the merged deletion batch holds no duplicates.
+//
+//jetlint:hotpath
 func (r *Ring) Expire(epoch uint64, skip func(Key) bool) []Key {
 	limit := int64(epoch) - int64(r.ttl)
 	if limit <= r.done {
 		return nil
 	}
-	var out []Key
+	// Size the result once from the bucket lengths (an upper bound counting
+	// stale entries) so the returned set is this batch's single allocation
+	// and the appends below never grow it.
+	n := 0
+	for e := r.done + 1; e <= limit; e++ {
+		n += len(r.buckets[uint64(e)%uint64(len(r.buckets))])
+	}
+	out := make([]Key, 0, n) //jetlint:allow hotpathalloc -- the returned expiry set is this batch's one sanctioned allocation
 	for e := r.done + 1; e <= limit; e++ {
 		slot := uint64(e) % uint64(len(r.buckets))
 		for _, k := range r.buckets[slot] {
@@ -146,12 +180,10 @@ func (r *Ring) Expire(epoch uint64, skip func(Key) bool) []Key {
 		r.buckets[slot] = r.buckets[slot][:0]
 	}
 	r.done = limit
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Src != out[j].Src {
-			return out[i].Src < out[j].Src
-		}
-		return out[i].Dst < out[j].Dst
-	})
+	if len(out) == 0 {
+		return nil // preserve the historical nil result for empty expiries
+	}
+	slices.SortFunc(out, cmpKey)
 	return out
 }
 
@@ -164,7 +196,11 @@ func (r *Ring) Peek(epoch uint64, skip func(Key) bool) []Key {
 	if limit <= r.done {
 		return nil
 	}
-	var out []Key
+	n := 0
+	for e := r.done + 1; e <= limit; e++ {
+		n += len(r.buckets[uint64(e)%uint64(len(r.buckets))])
+	}
+	out := make([]Key, 0, n)
 	for e := r.done + 1; e <= limit; e++ {
 		slot := uint64(e) % uint64(len(r.buckets))
 		for _, k := range r.buckets[slot] {
@@ -177,12 +213,10 @@ func (r *Ring) Peek(epoch uint64, skip func(Key) bool) []Key {
 			out = append(out, k)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Src != out[j].Src {
-			return out[i].Src < out[j].Src
-		}
-		return out[i].Dst < out[j].Dst
-	})
+	if len(out) == 0 {
+		return nil
+	}
+	slices.SortFunc(out, cmpKey)
 	return out
 }
 
@@ -193,12 +227,7 @@ func (r *Ring) Entries() []Entry {
 	for k, e := range r.age {
 		out = append(out, Entry{Src: k.Src, Dst: k.Dst, Epoch: e})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Src != out[j].Src {
-			return out[i].Src < out[j].Src
-		}
-		return out[i].Dst < out[j].Dst
-	})
+	slices.SortFunc(out, cmpEntry)
 	return out
 }
 
