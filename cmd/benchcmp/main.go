@@ -1,0 +1,150 @@
+// Command benchcmp gates hot-path performance: it parses `go test -bench`
+// text output, compares every benchmark that appears in a committed baseline
+// (results/BENCH_baseline.json), and exits nonzero when any ns/op regresses
+// past the tolerance. CI runs it after the hot-path benchmarks so a PR that
+// slows BenchmarkStreamingBatch or BenchmarkQueueSparseDrain by more than the
+// budget fails visibly instead of decaying silently.
+//
+// Benchmarks present in the fresh run but absent from the baseline are
+// reported and ignored (new benchmarks must not fail the gate before a
+// baseline lands for them); baseline entries missing from the run fail the
+// gate, since a silently deleted benchmark is how a regression hides.
+//
+// Usage:
+//
+//	go test -run NONE -bench 'BenchmarkStreamingBatch|BenchmarkQueueSparseDrain' . | \
+//	  go run ./cmd/benchcmp -baseline results/BENCH_baseline.json -tolerance 0.15
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// baseline mirrors results/BENCH_baseline.json.
+type baseline struct {
+	Revision   string               `json:"revision"`
+	Note       string               `json:"note"`
+	Benchmarks map[string]benchLine `json:"benchmarks"`
+}
+
+type benchLine struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchRe matches one result line of `go test -bench` output: the name (with
+// its -GOMAXPROCS suffix), the iteration count, and the metric pairs.
+var benchRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseBench extracts name -> ns/op from go test -bench text output. Later
+// duplicates (from -count > 1) keep the minimum, the conventional
+// best-observed reading for a regression gate on noisy runners.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchRe.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		fields := regexp.MustCompile(`\s+`).Split(m[2], -1)
+		for i := 0; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			ns, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad ns/op %q: %w", sc.Text(), fields[i], err)
+			}
+			if prev, ok := out[m[1]]; !ok || ns < prev {
+				out[m[1]] = ns
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchcmp: ")
+
+	var (
+		baselinePath = flag.String("baseline", "results/BENCH_baseline.json", "committed baseline JSON")
+		tolerance    = flag.Float64("tolerance", 0.15, "allowed fractional ns/op regression before failing")
+		input        = flag.String("input", "-", "go test -bench output file ('-' for stdin)")
+	)
+	flag.Parse()
+
+	blob, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(blob, &base); err != nil {
+		log.Fatalf("%s: %v", *baselinePath, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		log.Fatalf("%s: no benchmarks in baseline", *baselinePath)
+	}
+
+	in := io.Reader(os.Stdin)
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	fresh, err := parseBench(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("baseline %s (tolerance %+.0f%%)\n", base.Revision, *tolerance*100)
+	failed := false
+	for _, name := range sortedKeys(base.Benchmarks) {
+		want := base.Benchmarks[name].NsPerOp
+		got, ok := fresh[name]
+		if !ok {
+			fmt.Printf("  MISSING  %-52s baseline %12.0f ns/op, absent from run\n", name, want)
+			failed = true
+			continue
+		}
+		delta := got/want - 1
+		status := "ok"
+		if delta > *tolerance {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("  %-10s%-52s %12.0f -> %12.0f ns/op (%+.1f%%)\n", status, name, want, got, delta*100)
+	}
+	for _, name := range sortedKeys(fresh) {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("  new      %-52s %12.0f ns/op (no baseline, not gated)\n", name, fresh[name])
+		}
+	}
+	if failed {
+		log.Fatalf("ns/op regression beyond %.0f%% (or baseline benchmark missing from run)", *tolerance*100)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// sample is verbatim-shaped `go test -bench` output: header lines, a
+// GOMAXPROCS suffix, extra custom metrics, sub-benchmarks, and -count
+// duplicates (the parser must keep the minimum ns/op per name).
+const sample = `goos: linux
+goarch: amd64
+pkg: jetstream
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStreamingBatch/delta/batch100-8         	     100	   5435524 ns/op	 5982712 B/op	     451 allocs/op
+BenchmarkStreamingBatch/delta/batch100-8         	     100	   5235524 ns/op	 5982712 B/op	     451 allocs/op
+BenchmarkQueueSparseDrain/v65536-8               	    1000	     44723 ns/op	  531322 B/op	       2 allocs/op
+BenchmarkDegreeAdaptive/hubchurn/inline-8        	      20	   2203443 ns/op	         0.8428 inline-frac	       0 B/op	       0 allocs/op
+BenchmarkParallelism/p8                          	       3	  90000000 ns/op	        123456 events/sec
+PASS
+ok  	jetstream	16.737s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkStreamingBatch/delta/batch100":  5235524, // min of the two -count runs
+		"BenchmarkQueueSparseDrain/v65536":        44723,
+		"BenchmarkDegreeAdaptive/hubchurn/inline": 2203443,  // custom metric does not confuse the pairs
+		"BenchmarkParallelism/p8":                 90000000, // no GOMAXPROCS suffix
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v ns/op, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	got, err := parseBench(strings.NewReader("PASS\nok\tjetstream\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %v from output with no benchmark lines", got)
+	}
+}

@@ -38,6 +38,9 @@ type Config struct {
 	Timing bool `json:"timing,omitempty"`
 	// DetailedTiming selects the per-event pipeline timing model.
 	DetailedTiming bool `json:"detailed_timing,omitempty"`
+	// PipelineOverlap overlaps functional compute with the cycle simulation
+	// when Timing is on (see WithPipelineOverlap). No effect otherwise.
+	PipelineOverlap bool `json:"pipeline_overlap,omitempty"`
 	// Parallelism shards the functional compute phases across p workers;
 	// 0 keeps the engine default.
 	Parallelism int `json:"parallelism,omitempty"`
@@ -47,6 +50,9 @@ type Config struct {
 	// RebuildGraph applies every batch by rebuilding the full CSR instead of
 	// the incremental slack-based mutation (see WithGraphRebuild).
 	RebuildGraph bool `json:"rebuild_graph,omitempty"`
+	// InlineDegree tunes the degree-adaptive adjacency layout: 0 default (4),
+	// -1 uniform slab, 1..4 explicit threshold (see WithInlineDegree).
+	InlineDegree int `json:"inline_degree,omitempty"`
 	// WindowTTL bounds every edge's lifetime to this many batches; 0 means
 	// infinite retention (see WithWindow).
 	WindowTTL int `json:"window_ttl,omitempty"`
@@ -159,6 +165,12 @@ func (c Config) Options() []Option {
 	if c.DetailedTiming {
 		opts = append(opts, WithDetailedTiming())
 	}
+	if c.PipelineOverlap {
+		opts = append(opts, WithPipelineOverlap(true))
+	}
+	if c.InlineDegree != 0 {
+		opts = append(opts, WithInlineDegree(c.InlineDegree))
+	}
 	if c.Parallelism != 0 {
 		opts = append(opts, WithParallelism(c.Parallelism))
 	}
@@ -214,9 +226,11 @@ func ConfigFromOptions(opts ...Option) Config {
 		Slices:          op.slices,
 		Timing:          op.timing,
 		DetailedTiming:  op.detailed,
+		PipelineOverlap: op.pipeline,
 		Parallelism:     op.parallel,
 		Ingest:          op.ingest.String(),
 		RebuildGraph:    op.rebuild,
+		InlineDegree:    op.inlineDeg,
 		WindowTTL:       op.window,
 		WatchdogEvery:   op.watchdog.Every,
 		WatchdogEpsilon: op.watchdog.Epsilon,

@@ -52,9 +52,12 @@ var configOptionCases = []struct {
 	{"slices", []Option{WithSlices(4)}},
 	{"timing-off", []Option{WithTiming(false)}},
 	{"detailed-timing", []Option{WithDetailedTiming()}},
+	{"pipeline-overlap", []Option{WithPipelineOverlap(true)}},
 	{"parallelism", []Option{WithTiming(false), WithParallelism(4)}},
 	{"ingest-repair", []Option{WithIngest(Repair)}},
 	{"rebuild", []Option{WithGraphRebuild()}},
+	{"inline-degree", []Option{WithInlineDegree(2)}},
+	{"inline-degree-off", []Option{WithInlineDegree(-1)}},
 	{"window", []Option{WithWindow(7)}},
 	{"wal", []Option{WithWAL("walsubdir")}},
 	{"wal-options", []Option{WithWALOptions("walsubdir", WALOptions{Sync: WALSyncInterval, Interval: 3})}},
@@ -204,6 +207,8 @@ func TestConfigInvalid(t *testing.T) {
 		{"negative-window", Config{WindowTTL: -1}},
 		{"negative-slices", Config{Slices: -2}},
 		{"negative-parallelism", Config{Parallelism: -3}},
+		{"inline-degree-too-low", Config{InlineDegree: -2}},
+		{"inline-degree-too-high", Config{InlineDegree: 5}},
 	}
 	g := RMAT(RMATConfig{Vertices: 16, Edges: 32, Seed: 1})
 	for _, tc := range cases {

@@ -1,0 +1,148 @@
+package jetstream
+
+// Differential harness for the cache-conscious hot path: the degree-adaptive
+// adjacency layout and the functional/timing pipeline overlap are both pure
+// representation/wall-clock optimizations, so every kernel must produce the
+// same results with them on, off, or tuned to any threshold. The adjacency
+// comparisons run against the full-rebuild reference (a dense CSR with no
+// slack and no inline records — maximally different memory layout, identical
+// logical graph).
+
+import (
+	"fmt"
+	"testing"
+
+	"jetstream/internal/algo"
+	"jetstream/internal/core"
+)
+
+// TestInlineAdjacencyAllKernelsAllParallelisms drives every kernel at
+// parallelism 1, 2, and 8 with the inline layout forced on (threshold 4) and
+// compares against the rebuild reference at parallelism 1. Selective kernels
+// must match bitwise at every parallelism; accumulative kernels carry the
+// usual epsilon-truncation tolerance above p=1 and must be bitwise at p=1.
+// The logical graphs must be identical everywhere.
+func TestInlineAdjacencyAllKernelsAllParallelisms(t *testing.T) {
+	for _, name := range algo.Names() {
+		t.Run(name, func(t *testing.T) {
+			a := makeAlgByName(t, name)
+			g, stream := difftestStream(t, a, 509, 8, 28)
+
+			run := func(p int, opts ...Option) *System {
+				t.Helper()
+				opts = append([]Option{WithTiming(false), WithParallelism(p)}, opts...)
+				sys, err := New(g, makeAlgByName(t, name), opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys.RunInitial()
+				for i, b := range stream {
+					if _, err := sys.ApplyBatch(b); err != nil {
+						t.Fatalf("p=%d batch %d: %v", p, i, err)
+					}
+				}
+				return sys
+			}
+
+			ref := run(1, WithGraphRebuild())
+			refState, refEdges := ref.State(), ref.Graph().Edges()
+			for _, p := range difftestParallelisms {
+				t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+					sys := run(p, WithInlineDegree(4))
+					de := sys.Graph().Edges()
+					if len(de) != len(refEdges) {
+						t.Fatalf("edge counts diverge: %d vs %d", len(de), len(refEdges))
+					}
+					for j := range de {
+						if de[j] != refEdges[j] {
+							t.Fatalf("edge %d diverges: %+v vs %+v", j, de[j], refEdges[j])
+						}
+					}
+					d := algo.MaxAbsDiff(sys.State(), refState)
+					if p == 1 || a.Class() == algo.Selective {
+						if d != 0 {
+							t.Fatalf("p=%d: state differs from rebuild reference by %v (want bitwise equal)", p, d)
+						}
+						return
+					}
+					tol := core.Tolerance(a, sys.Graph().NumEdges(), len(stream)+1)
+					if d > tol {
+						t.Fatalf("p=%d: accumulative state differs by %v > tolerance %v", p, d, tol)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestInlineThresholdsAgree pins that every inline threshold (including off)
+// yields the bitwise-identical system: the knob moves adjacencies between
+// representations, never changes what they contain.
+func TestInlineThresholdsAgree(t *testing.T) {
+	a := makeAlgByName(t, "pagerank")
+	g, stream := difftestStream(t, a, 613, 6, 24)
+	run := func(deg int) []float64 {
+		sys, err := New(g, makeAlgByName(t, "pagerank"), WithTiming(false), WithParallelism(1), WithInlineDegree(deg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.RunInitial()
+		for i, b := range stream {
+			if _, err := sys.ApplyBatch(b); err != nil {
+				t.Fatalf("deg=%d batch %d: %v", deg, i, err)
+			}
+		}
+		return sys.State()
+	}
+	base := run(-1) // uniform slab
+	for _, deg := range []int{1, 2, 4} {
+		if d := algo.MaxAbsDiff(base, run(deg)); d != 0 {
+			t.Fatalf("inline threshold %d changed state by %v (want bitwise equal)", deg, d)
+		}
+	}
+}
+
+// TestPipelineOverlapSystemBitwise drives the full System stack — detailed
+// timing, sliding recovery phases, per-batch cycle reads — with pipeline
+// overlap on and off, and requires identical per-batch cycle counts, stats,
+// and final state. Run under -race this also exercises the handoff for
+// synchronization bugs.
+func TestPipelineOverlapSystemBitwise(t *testing.T) {
+	a := makeAlgByName(t, "sssp")
+	g, stream := difftestStream(t, a, 721, 6, 20)
+	run := func(overlap bool) ([]Result, Counters, []float64) {
+		sys, err := New(g, makeAlgByName(t, "sssp"), WithDetailedTiming(), WithPipelineOverlap(overlap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.RunInitial()
+		results := make([]Result, len(stream))
+		for i, b := range stream {
+			r, err := sys.ApplyBatch(b)
+			if err != nil {
+				t.Fatalf("overlap=%v batch %d: %v", overlap, i, err)
+			}
+			results[i] = r
+		}
+		return results, sys.TotalStats(), sys.State()
+	}
+	offR, offTot, offState := run(false)
+	onR, onTot, onState := run(true)
+	for i := range offR {
+		if onR[i].Cycles != offR[i].Cycles {
+			t.Fatalf("batch %d: overlap changed cycles: %d vs %d", i, onR[i].Cycles, offR[i].Cycles)
+		}
+		if onR[i].Stats != offR[i].Stats {
+			t.Fatalf("batch %d: overlap changed stats:\n  on:  %+v\n  off: %+v", i, onR[i].Stats, offR[i].Stats)
+		}
+	}
+	if onTot != offTot {
+		t.Fatalf("overlap changed totals:\n  on:  %+v\n  off: %+v", onTot, offTot)
+	}
+	if d := algo.MaxAbsDiff(onState, offState); d != 0 {
+		t.Fatalf("overlap changed state by %v", d)
+	}
+	if offTot.Cycles == 0 {
+		t.Fatal("detailed timing produced zero cycles")
+	}
+}

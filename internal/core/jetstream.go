@@ -89,6 +89,13 @@ type Config struct {
 	// either way; the switch exists to measure the host-side cost difference
 	// and as the reference side of the differential tests.
 	RebuildGraph bool
+	// InlineDegree tunes the degree-adaptive adjacency threshold of the
+	// incremental host path: 0 takes the library default (4), -1 disables the
+	// inline layout (uniform slab), 1..4 set the cap explicitly. The logical
+	// graph and the event flow are identical at every setting — the knob only
+	// moves low-degree adjacencies between the slab and per-vertex cache-line
+	// records. Ignored under RebuildGraph (dense CSRs have no slack layout).
+	InlineDegree int
 }
 
 // DefaultConfig returns the paper's configuration with the DAP optimization,
@@ -236,7 +243,7 @@ func (j *JetStream) ApplyBatch(b graph.Batch) error {
 	if j.cfg.RebuildGraph {
 		ng, err = j.g.Apply(b)
 	} else {
-		ng, err = j.g.ApplyDelta(b)
+		ng, err = j.g.ApplyDeltaCfg(b, j.deltaConfig())
 	}
 	if err != nil {
 		return err
@@ -253,6 +260,21 @@ func (j *JetStream) ApplyBatch(b graph.Batch) error {
 	j.g = ng
 	j.eng.FlushObs()
 	return nil
+}
+
+// deltaConfig resolves the slack tuning for the incremental host path,
+// applying the InlineDegree override. The same resolved config is passed on
+// every batch so the layout choice is stable across versions (the graph
+// layer re-slackifies with it at each compacting rebuild).
+func (j *JetStream) deltaConfig() graph.DeltaConfig {
+	cfg := graph.DefaultDeltaConfig()
+	switch {
+	case j.cfg.InlineDegree < 0:
+		cfg.InlineCap = 0
+	case j.cfg.InlineDegree > 0:
+		cfg.InlineCap = j.cfg.InlineDegree
+	}
+	return cfg
 }
 
 // ---------------------------------------------------------------------------

@@ -116,6 +116,9 @@ func New(g *graph.CSR, alg algo.Algorithm, cfg Config, st *stats.Counters, opts 
 		} else {
 			e.tm = NewTiming(cfg, st)
 		}
+		if cfg.PipelineOverlap {
+			e.tm = newPipelined(e.tm)
+		}
 	}
 	for _, o := range opts {
 		o(e)
@@ -175,12 +178,25 @@ func (e *Engine) Dep() []graph.VertexID {
 	return e.dep
 }
 
-// Cycles returns accumulated cycles (0 with timing off).
+// Cycles returns accumulated cycles (0 with timing off). With pipeline
+// overlap on this joins the in-flight timing simulation first, so the count
+// is always exact.
 func (e *Engine) Cycles() uint64 {
 	if e.tm == nil {
 		return 0
 	}
 	return e.tm.Cycles()
+}
+
+// SyncTiming joins any in-flight pipelined timing simulation, making the
+// stats sink's traffic counters (BytesUsed, SpillBytes, DRAM tallies) safe to
+// read from the caller's goroutine. A no-op unless PipelineOverlap is on and
+// charges are queued. Callers that copy the whole stats struct must call this
+// (or Cycles, which flushes too) first.
+func (e *Engine) SyncTiming() {
+	if f, ok := e.tm.(interface{ Flush() }); ok {
+		f.Flush()
+	}
 }
 
 // SetGraph switches the engine to a new graph version (the host's CSR

@@ -32,6 +32,11 @@ type Obs struct {
 	queueLive *obs.Gauge
 	queueHigh *obs.Max
 
+	// Degree-adaptive adjacency representation mix (see graph.CSR
+	// RepresentationMix), refreshed at every flush boundary.
+	inlineOut *obs.Gauge
+	inlineIn  *obs.Gauge
+
 	pairs  *noc.Matrix
 	pairsK int
 }
@@ -60,6 +65,8 @@ func NewObs(reg *obs.Registry, tr obs.Tracer) *Obs {
 		Tr:        tr,
 		queueLive: reg.Gauge("jetstream_queue_live_events"),
 		queueHigh: reg.Max("jetstream_queue_highwater"),
+		inlineOut: reg.Gauge("jetstream_graph_inline_vertices", obs.L("dir", "out")),
+		inlineIn:  reg.Gauge("jetstream_graph_inline_vertices", obs.L("dir", "in")),
 	}
 }
 
@@ -184,6 +191,10 @@ func (e *Engine) Channels() []mem.ChannelCounts {
 // worker's share, so nothing is counted twice. Call at operation boundaries
 // (end of batch, end of initial run).
 func (e *Engine) FlushObs() {
+	// Join the timing pipeline first: the whole-struct copy below reads the
+	// traffic counters its consumer writes, and flush boundaries are where
+	// overlap must end anyway.
+	e.SyncTiming()
 	if e.ob == nil {
 		return
 	}
@@ -197,6 +208,9 @@ func (e *Engine) FlushObs() {
 	e.obPub = *e.st
 	e.ob.queueLive.Set(int64(e.q.Len()))
 	e.ob.queueHigh.Observe(uint64(e.q.HighWater()))
+	out, in, _ := e.csr.RepresentationMix()
+	e.ob.inlineOut.Set(int64(out))
+	e.ob.inlineIn.Set(int64(in))
 }
 
 // publishWorker attributes one parallel worker's phase counters to its

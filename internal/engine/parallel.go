@@ -10,6 +10,7 @@ import (
 	"jetstream/internal/event"
 	"jetstream/internal/graph"
 	"jetstream/internal/obs"
+	"jetstream/internal/pad"
 	"jetstream/internal/queue"
 	"jetstream/internal/stats"
 )
@@ -58,22 +59,37 @@ type parallelRun struct {
 	trackDep bool
 
 	// outstanding is the quiescence barrier: live event records not yet
-	// retired. Workers exit when they observe zero.
+	// retired. Workers exit when they observe zero. Every worker hammers this
+	// counter once per row batch, so it gets a cache line to itself — without
+	// the fences its line also holds the read-mostly fields above, and every
+	// Add would invalidate the view/state headers in all other workers'
+	// caches.
+	_           pad.Line
 	outstanding atomic.Int64
+	_           pad.Line
 
 	// mail[i][j] carries event batches from worker i to worker j (i != j).
 	mail [][]chan []event.Event
 }
 
 // peWorker is one simulated processing engine.
+//
+// The stats block and the per-batch tallies below the first pad line are
+// written by this worker on every processed event. Workers are allocated
+// back-to-back at phase start, so without the cache-line fences one worker's
+// counter increments would sit on the same line as a neighbor's and the
+// per-event stores would ping-pong ownership between cores — the classic
+// false-sharing tax on exactly the path BenchmarkParallelism measures.
 type peWorker struct {
 	id      int
 	run     *parallelRun
 	shard   *queue.Shard
-	st      stats.Counters       // merged into the engine's sink at phase end
 	staging [][]event.Event      // cross-partition events not yet sent, per destination
 	inbox   []chan []event.Event // mail[*][id], nil at index id
 	outbox  []chan []event.Event // mail[id][*], nil at index id
+
+	_  pad.Line       // fence: per-event single-writer region below
+	st stats.Counters // merged into the engine's sink at phase end
 
 	// Per-batch token bookkeeping (see quiescence comment above).
 	newLive int64 // records that became live while processing the current batch
@@ -86,6 +102,8 @@ type peWorker struct {
 	sent      []uint64 // per-destination cross-partition events staged
 	forwarded uint64   // total cross-partition events staged
 	idleSpins uint64   // loop iterations that found no work
+
+	_ pad.Line // fence: nothing after the hot region shares its last line
 }
 
 // parallelism returns the effective worker count for the next compute phase:

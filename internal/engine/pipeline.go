@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"jetstream/internal/graph"
+	"jetstream/internal/mem"
+	"jetstream/internal/obs"
+)
+
+// This file implements functional/timing pipeline overlap: a CycleModel
+// decorator that replays the functional engine's charge stream against the
+// wrapped model on a consumer goroutine, so the (expensive, detailed) timing
+// simulation of row batch k drains while the functional engine is already
+// processing row batch k+1 — and, across System batches, while the next
+// batch's functional phases run, up to the next cycle read.
+//
+// Determinism contract: charges are handed off over a FIFO channel and the
+// consumer applies them strictly in order, so the wrapped model observes the
+// exact byte-for-byte sequence it would have seen inline — Cycles() with
+// overlap on equals Cycles() with overlap off, always. The overlap changes
+// wall-clock time, never the simulated timeline.
+//
+// Memory contract: the engine reuses its per-row-batch recording slices, so
+// Batch must copy its arguments before returning. Copies land in two
+// preallocated slots recycled through a free channel — the two-slot handoff:
+// the producer can run at most two row batches ahead of the simulator, which
+// bounds memory and keeps the copy buffers cache-warm. A producer finding
+// both slots in flight counts a stall and blocks (backpressure, not
+// drop — every charge is replayed).
+//
+// Concurrency contract: the timing model only exists on the sequential
+// engine path (parallelism() returns 1 when timing is on), so there is
+// exactly one producer. The consumer writes only the wrapped model's state
+// and the memory-traffic stats fields (BytesUsed, SpillBytes, and the DRAM
+// counters) — fields the functional path never touches — and every read of
+// those fields (Cycles, Channels, FlushObs) joins the consumer first via
+// Flush, which also gives the happens-before edge that makes the counter
+// values visible.
+
+// pipeSlotCount is the handoff depth: how many row batches the functional
+// engine may run ahead of the timing simulation.
+const pipeSlotCount = 2
+
+type pipeOpKind uint8
+
+const (
+	pipeOpBatch pipeOpKind = iota
+	pipeOpRound
+	pipeOpSpill
+	pipeOpStream
+	pipeOpStop
+)
+
+// pipeOp is one replayed charge. Batch ops carry a slot; the small ops carry
+// only their count and ride the same FIFO so ordering is preserved.
+type pipeOp struct {
+	kind pipeOpKind
+	slot *pipeSlot
+	n    int
+}
+
+// pipeSlot is one copied row-batch charge.
+type pipeSlot struct {
+	touched []graph.VertexID
+	fetches []EdgeFetch
+	genT    []graph.VertexID
+	written int
+}
+
+// pipelined decorates a CycleModel with the overlap machinery.
+type pipelined struct {
+	inner CycleModel
+
+	ops  chan pipeOp
+	free chan *pipeSlot
+	wg   sync.WaitGroup
+	live bool // consumer goroutine running; producer-side state
+
+	// Handoff telemetry, exported through Observe. Atomics because a metrics
+	// scrape may pull them while the producer is mid-phase.
+	handoffs atomic.Uint64 // row batches handed to the consumer
+	stalls   atomic.Uint64 // handoffs that found both slots in flight
+	flushes  atomic.Uint64 // consumer joins (cycle reads, stat flushes)
+	depth    *obs.Gauge    // queued ops at last handoff; nil when unobserved
+}
+
+// newPipelined wraps inner. The slots start on the free list; the consumer
+// goroutine is spawned lazily on first charge and exits at every flush, so an
+// idle engine holds no goroutine.
+func newPipelined(inner CycleModel) *pipelined {
+	p := &pipelined{
+		inner: inner,
+		ops:   make(chan pipeOp, pipeSlotCount*2),
+		free:  make(chan *pipeSlot, pipeSlotCount),
+	}
+	for i := 0; i < pipeSlotCount; i++ {
+		p.free <- &pipeSlot{}
+	}
+	return p
+}
+
+// consume replays charges in FIFO order until the stop op.
+func (p *pipelined) consume() {
+	defer p.wg.Done()
+	for op := range p.ops {
+		switch op.kind {
+		case pipeOpBatch:
+			s := op.slot
+			p.inner.Batch(s.touched, s.written, s.fetches, s.genT)
+			p.free <- s
+		case pipeOpRound:
+			p.inner.RoundOverhead()
+		case pipeOpSpill:
+			p.inner.Spill(op.n)
+		case pipeOpStream:
+			p.inner.StreamRead(op.n)
+		case pipeOpStop:
+			return
+		}
+	}
+}
+
+// start spawns the consumer if it is not running. Producer-side only.
+func (p *pipelined) start() {
+	if p.live {
+		return
+	}
+	p.live = true
+	p.wg.Add(1)
+	go p.consume()
+}
+
+// Flush joins the consumer: every queued charge is applied to the wrapped
+// model and the goroutine exits. After Flush the wrapped model's cycle count
+// and traffic counters are exact and safe to read from the caller's
+// goroutine. Idempotent; cheap when nothing is queued.
+func (p *pipelined) Flush() {
+	if !p.live {
+		return
+	}
+	p.ops <- pipeOp{kind: pipeOpStop}
+	p.wg.Wait()
+	p.live = false
+	p.flushes.Add(1)
+}
+
+// Batch copies the engine's (reused) recording slices into a handoff slot
+// and queues the charge. This is the pipeline handoff the benchmarks pin at
+// zero allocations: slot buffers are recycled, so steady state is three
+// copies and two channel operations per row batch.
+//
+//jetlint:hotpath
+func (p *pipelined) Batch(touched []graph.VertexID, written int, fetches []EdgeFetch, genTargets []graph.VertexID) {
+	p.start()
+	var s *pipeSlot
+	select {
+	case s = <-p.free:
+	default:
+		// Both slots in flight: the simulator is more than two row batches
+		// behind. Block until it retires one — backpressure, not loss.
+		p.stalls.Add(1)
+		s = <-p.free
+	}
+	tb := s.touched[:0]
+	tb = append(tb, touched...)
+	s.touched = tb
+	fb := s.fetches[:0]
+	fb = append(fb, fetches...)
+	s.fetches = fb
+	gb := s.genT[:0]
+	gb = append(gb, genTargets...)
+	s.genT = gb
+	s.written = written
+	p.handoffs.Add(1)
+	if p.depth != nil {
+		p.depth.Set(int64(len(p.ops)))
+	}
+	p.ops <- pipeOp{kind: pipeOpBatch, slot: s}
+}
+
+// RoundOverhead queues the scheduler's end-of-round charge.
+//
+//jetlint:hotpath
+func (p *pipelined) RoundOverhead() {
+	p.start()
+	p.ops <- pipeOp{kind: pipeOpRound}
+}
+
+// Spill queues an off-chip round-trip charge.
+func (p *pipelined) Spill(n int) {
+	p.start()
+	p.ops <- pipeOp{kind: pipeOpSpill, n: n}
+}
+
+// StreamRead queues a Stream Reader scan charge.
+func (p *pipelined) StreamRead(n int) {
+	p.start()
+	p.ops <- pipeOp{kind: pipeOpStream, n: n}
+}
+
+// Cycles joins the pipeline and returns the wrapped model's exact count.
+func (p *pipelined) Cycles() uint64 {
+	p.Flush()
+	return p.inner.Cycles()
+}
+
+// Observe registers the handoff telemetry and forwards to the wrapped model
+// when it exports series of its own.
+func (p *pipelined) Observe(reg *obs.Registry) {
+	p.Flush()
+	reg.CounterFunc("jetstream_pipeline_handoffs_total", p.handoffs.Load)
+	reg.CounterFunc("jetstream_pipeline_stalls_total", p.stalls.Load)
+	reg.CounterFunc("jetstream_pipeline_flushes_total", p.flushes.Load)
+	p.depth = reg.Gauge("jetstream_pipeline_depth")
+	if m, ok := p.inner.(interface{ Observe(*obs.Registry) }); ok {
+		m.Observe(reg)
+	}
+}
+
+// Channels joins the pipeline and forwards the wrapped model's per-channel
+// DRAM tallies.
+func (p *pipelined) Channels() []mem.ChannelCounts {
+	p.Flush()
+	if c, ok := p.inner.(interface{ Channels() []mem.ChannelCounts }); ok {
+		return c.Channels()
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"testing"
+
+	"jetstream/internal/algo"
+	"jetstream/internal/graph"
+	"jetstream/internal/obs"
+	"jetstream/internal/stats"
+)
+
+// Tests for the functional/timing pipeline overlap (pipeline.go). The whole
+// point of the decorator is that it changes wall-clock behaviour only: every
+// simulated quantity — cycles, traffic counters, per-worker attributions —
+// must be bitwise-identical with overlap on or off, across both timing
+// fidelities, including under the race detector (which these tests exist to
+// drive over the handoff).
+
+func overlapConfig(detailed bool) Config {
+	cfg := DefaultConfig()
+	cfg.Timing = true
+	cfg.DetailedTiming = detailed
+	cfg.PipelineOverlap = true
+	return cfg
+}
+
+// TestPipelineOverlapBitwiseCycles pins the determinism contract on a real
+// workload at both timing fidelities: same graph, same kernel, overlap on vs
+// off, identical cycle totals and identical traffic counters.
+func TestPipelineOverlapBitwiseCycles(t *testing.T) {
+	for _, detailed := range []bool{false, true} {
+		name := map[bool]string{false: "batch", true: "detailed"}[detailed]
+		t.Run(name, func(t *testing.T) {
+			g := graph.RMAT(graph.RMATConfig{Vertices: 500, Edges: 4000, Seed: 5})
+			run := func(overlap bool) (uint64, stats.Counters, []float64) {
+				cfg := overlapConfig(detailed)
+				cfg.PipelineOverlap = overlap
+				st := &stats.Counters{}
+				e := New(g, algo.NewSSSP(0), cfg, st)
+				e.RunToConvergence()
+				cy := e.Cycles() // joins the pipeline; st is settled after
+				return cy, *st, e.State()
+			}
+			offCy, offSt, offState := run(false)
+			onCy, onSt, onState := run(true)
+			if offCy == 0 {
+				t.Fatal("timing model produced zero cycles")
+			}
+			if onCy != offCy {
+				t.Fatalf("overlap changed cycles: %d vs %d", onCy, offCy)
+			}
+			if onSt != offSt {
+				t.Fatalf("overlap changed counters:\n  on:  %+v\n  off: %+v", onSt, offSt)
+			}
+			if d := algo.MaxAbsDiff(onState, offState); d != 0 {
+				t.Fatalf("overlap changed functional state by %v", d)
+			}
+		})
+	}
+}
+
+// TestPipelineOverlapInterleavedReads reads cycles mid-run (every cycle read
+// joins and restarts the pipeline) and requires the running totals to track
+// the non-overlapped engine exactly — the host's per-batch Cycles() pattern.
+func TestPipelineOverlapInterleavedReads(t *testing.T) {
+	g := graph.RMAT(graph.RMATConfig{Vertices: 300, Edges: 2400, Seed: 9})
+	mk := func(overlap bool) *Engine {
+		cfg := overlapConfig(false)
+		cfg.PipelineOverlap = overlap
+		return New(g, algo.NewBFS(0), cfg, nil)
+	}
+	on, off := mk(true), mk(false)
+	check := func(stage string) {
+		t.Helper()
+		if oc, fc := on.Cycles(), off.Cycles(); oc != fc {
+			t.Fatalf("%s: mid-run cycles diverge: %d vs %d", stage, oc, fc)
+		}
+	}
+	on.SeedInitialEvents()
+	off.SeedInitialEvents()
+	check("after seed")
+	on.RunPhase(on.ComputeHandler())
+	off.RunPhase(off.ComputeHandler())
+	check("after compute phase")
+	// Cycles() joined the pipeline; further charges must restart it cleanly.
+	on.ChargeSpill(64)
+	off.ChargeSpill(64)
+	on.ChargeStreamRead(32)
+	off.ChargeStreamRead(32)
+	check("after post-join charges")
+}
+
+// TestPipelineFlushIdempotent checks the join is safe to call repeatedly and
+// from every read path (Cycles, SyncTiming, FlushObs, Channels), and that the
+// consumer goroutine restarts cleanly after each join.
+func TestPipelineFlushIdempotent(t *testing.T) {
+	g := graph.RMAT(graph.RMATConfig{Vertices: 200, Edges: 1200, Seed: 3})
+	e := New(g, algo.NewSSSP(0), overlapConfig(false), nil)
+	e.SetObs(NewObs(obs.NewRegistry(), nil))
+	e.RunToConvergence()
+	c1 := e.Cycles()
+	e.SyncTiming()
+	e.SyncTiming()
+	e.FlushObs()
+	_ = e.Channels()
+	if c2 := e.Cycles(); c2 != c1 {
+		t.Fatalf("idle flushes changed cycles: %d vs %d", c2, c1)
+	}
+	// Restart after join: more work must still be simulated.
+	e.ChargeSpill(10)
+	if c3 := e.Cycles(); c3 <= c1 {
+		t.Fatalf("post-flush charge did not accumulate: %d vs %d", c3, c1)
+	}
+	p, ok := e.tm.(*pipelined)
+	if !ok {
+		t.Fatal("PipelineOverlap config did not install the pipelined model")
+	}
+	if p.flushes.Load() == 0 || p.handoffs.Load() == 0 {
+		t.Fatalf("telemetry silent: %d flushes, %d handoffs", p.flushes.Load(), p.handoffs.Load())
+	}
+}
+
+// TestPipelineObserveMetrics checks the handoff telemetry and the wrapped
+// model's series both reach the registry through the decorator.
+func TestPipelineObserveMetrics(t *testing.T) {
+	g := graph.RMAT(graph.RMATConfig{Vertices: 200, Edges: 1600, Seed: 7})
+	e := New(g, algo.NewSSSP(0), overlapConfig(false), nil)
+	ob := NewObs(obs.NewRegistry(), nil)
+	e.SetObs(ob)
+	e.RunToConvergence()
+	e.FlushObs()
+	if v, ok := ob.Reg.Get("jetstream_pipeline_handoffs_total"); !ok || v == 0 {
+		t.Fatalf("jetstream_pipeline_handoffs_total = %v, %v; want > 0", v, ok)
+	}
+	if _, ok := ob.Reg.Get("jetstream_pipeline_flushes_total"); !ok {
+		t.Fatal("jetstream_pipeline_flushes_total not registered")
+	}
+	// The wrapped batch model exports DRAM series; the decorator must forward
+	// the Observe call rather than swallow it.
+	if _, ok := ob.Reg.Get("jetstream_dram_channel_accesses_total", obs.L("channel", "0")); !ok {
+		t.Fatal("wrapped model's DRAM series not forwarded through the pipeline decorator")
+	}
+	// Representation-mix gauges are published at flush boundaries.
+	if _, ok := ob.Reg.Get("jetstream_graph_inline_vertices", obs.L("dir", "out")); !ok {
+		t.Fatal("jetstream_graph_inline_vertices gauge not registered")
+	}
+}

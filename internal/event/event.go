@@ -8,8 +8,10 @@ package event
 import (
 	"fmt"
 	"math"
+	"unsafe"
 
 	"jetstream/internal/graph"
+	"jetstream/internal/pad"
 )
 
 // Flags mark the special event kinds JetStream adds to GraphPulse.
@@ -32,13 +34,23 @@ const (
 const NoSource = graph.VertexID(math.MaxUint32)
 
 // Event is the unit of work. Size on the wire depends on the engine mode —
-// see Size.
+// see Size; the in-memory record is padded to 32 bytes so exactly two events
+// fill one cache line and a single record never straddles two (the coalescing
+// queue's slot array and the workers' staging buffers are both dense []Event,
+// where a 24-byte layout would put every third record across a line boundary).
 type Event struct {
 	Target graph.VertexID
 	Value  float64
 	Source graph.VertexID // contributing vertex under DAP; NoSource otherwise
 	Flags  Flags
+	_      [11]byte
 }
+
+// Compile-time: two records per cache line, no straddle (see internal/pad).
+const (
+	_ = uint(pad.LineSize/2 - unsafe.Sizeof(Event{}))
+	_ = uint(unsafe.Sizeof(Event{}) - pad.LineSize/2)
+)
 
 // New returns a plain value-carrying event.
 func New(target graph.VertexID, value float64) Event {

@@ -77,6 +77,19 @@ type CSR struct {
 	// reversal. Maintained incrementally by the delta mutation layer.
 	asymCount int
 
+	// Degree-adaptive layout (inline.go): when inlCap > 0, vertices with at
+	// most inlCap neighbors in a direction store them directly in the
+	// per-vertex cache-line record instead of the slab, and outLen/inLen is 0
+	// for them. nil/0 for dense builds and slab-only layouts.
+	outInl []inlineRec
+	inInl  []inlineRec
+	inlCap uint8
+
+	// outInline/inInline count vertices currently stored inline per
+	// direction; the representation-mix metric reads them in O(1).
+	outInline int
+	inInline  int
+
 	// ver holds delta-mutation bookkeeping: nil for plain dense builds,
 	// otherwise the version's role in a mutation chain (head scratch state or
 	// the undo snapshots of a superseded version). See delta.go.
@@ -109,12 +122,7 @@ func (g *CSR) outSeg(v VertexID) ([]VertexID, []Weight) {
 	for {
 		vi := cur.ver
 		if vi == nil || !vi.frozen {
-			lo := cur.outPtr[v]
-			hi := cur.outPtr[v+1]
-			if cur.outLen != nil {
-				hi = lo + uint64(cur.outLen[v])
-			}
-			return cur.outDst[lo:hi], cur.outW[lo:hi]
+			return cur.liveOut(v)
 		}
 		if u := vi.lookupOut(v); u != nil {
 			return u.dst, u.w
@@ -130,12 +138,7 @@ func (g *CSR) inSeg(v VertexID) ([]VertexID, []Weight) {
 	for {
 		vi := cur.ver
 		if vi == nil || !vi.frozen {
-			lo := cur.inPtr[v]
-			hi := cur.inPtr[v+1]
-			if cur.inLen != nil {
-				hi = lo + uint64(cur.inLen[v])
-			}
-			return cur.inSrc[lo:hi], cur.inW[lo:hi]
+			return cur.liveIn(v)
 		}
 		if u := vi.lookupIn(v); u != nil {
 			return u.src, u.w
@@ -250,8 +253,11 @@ func (g *CSR) EdgeAt(i int) Edge {
 	if g.ver != nil && !g.ver.frozen {
 		cum := g.ver.rankIndex(g)
 		u := sort.Search(g.n, func(v int) bool { return cum[v+1] > uint64(i) })
-		off := g.outPtr[u] + (uint64(i) - cum[u])
-		return Edge{VertexID(u), g.outDst[off], g.outW[off]}
+		// Index through the live segment rather than the slab directly: an
+		// inline vertex's edges live in its record, not at outPtr[u].
+		ids, ws := g.liveOut(VertexID(u))
+		k := uint64(i) - cum[u]
+		return Edge{VertexID(u), ids[k], ws[k]}
 	}
 	// Superseded version: rare path, scan the logical segments.
 	for v := 0; v < g.n; v++ {
@@ -394,6 +400,45 @@ func (g *CSR) validateLayout() error {
 	}
 	if g.outLen == nil && g.m != len(g.outDst) {
 		return fmt.Errorf("graph: dense layout records %d edges over %d slots", g.m, len(g.outDst))
+	}
+	if (g.outInl == nil) != (g.inInl == nil) {
+		return fmt.Errorf("graph: adaptive layout must cover both directions")
+	}
+	if g.outInl != nil {
+		if g.outLen == nil {
+			return fmt.Errorf("graph: adaptive layout requires a slacked layout")
+		}
+		if g.inlCap == 0 || g.inlCap > inlineCapMax {
+			return fmt.Errorf("graph: inline capacity %d out of range", g.inlCap)
+		}
+		if len(g.outInl) != g.n || len(g.inInl) != g.n {
+			return fmt.Errorf("graph: inline record array length mismatch")
+		}
+		outN, inN := 0, 0
+		for v := 0; v < g.n; v++ {
+			on, in := g.outInl[v].n, g.inInl[v].n
+			if on != inlineSpilled {
+				if on > g.inlCap {
+					return fmt.Errorf("graph: inline out record of %d holds %d > cap %d", v, on, g.inlCap)
+				}
+				if g.outLen[v] != 0 {
+					return fmt.Errorf("graph: vertex %d is inline but outLen is %d", v, g.outLen[v])
+				}
+				outN++
+			}
+			if in != inlineSpilled {
+				if in > g.inlCap {
+					return fmt.Errorf("graph: inline in record of %d holds %d > cap %d", v, in, g.inlCap)
+				}
+				if g.inLen[v] != 0 {
+					return fmt.Errorf("graph: vertex %d is inline but inLen is %d", v, g.inLen[v])
+				}
+				inN++
+			}
+		}
+		if outN != g.outInline || inN != g.inInline {
+			return fmt.Errorf("graph: inline counts (%d,%d), recomputed (%d,%d)", g.outInline, g.inInline, outN, inN)
+		}
 	}
 	return nil
 }

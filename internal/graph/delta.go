@@ -19,11 +19,18 @@ type DeltaConfig struct {
 	// triggers a compacting rebuild that restores fresh slack everywhere. This
 	// amortizes the O(V+E) rebuild over Θ(E) cheap updates.
 	CompactFrac float64
+	// InlineCap enables the degree-adaptive layout: vertices with at most
+	// InlineCap neighbors in a direction are stored directly in a per-vertex
+	// cache-line record (inline.go) instead of the slack slab. 0 keeps the
+	// uniform slab layout; values above the record capacity (4) are clamped.
+	// The slab still reserves full capacity for every vertex, so flipping the
+	// knob changes locality, never addresses or semantics.
+	InlineCap int
 }
 
 // DefaultDeltaConfig returns the tuning used by the system hot path.
 func DefaultDeltaConfig() DeltaConfig {
-	return DeltaConfig{SlackMin: 4, SlackFrac: 0.125, CompactFrac: 0.25}
+	return DeltaConfig{SlackMin: 4, SlackFrac: 0.125, CompactFrac: 0.25, InlineCap: inlineCapMax}
 }
 
 // outUndo snapshots one vertex's pre-mutation out-adjacency. When ApplyDelta
@@ -196,20 +203,28 @@ func (a *undoArena) allocIn(n int) []inUndo {
 
 // rankIndex returns the prefix-degree array for EdgeAt on a slacked live
 // layout, building it on first use. Each ApplyDelta returns a fresh head with
-// cum == nil, so the index can never go stale. The backing array is owned by
-// the scratch and recomputed per head — only the live head may use it
-// (frozen EdgeAt takes the segment-scan path), so reuse is safe.
+// cum == nil, and a superseded version's cum and scratch aliases are severed
+// when it is superseded (applyInPlace freezes it; rebuildSlacked detaches it),
+// so a cached index can never reflect another version's degrees. The backing
+// array is owned by the scratch when one is attached; a detached version
+// builds a private index.
 func (vi *versionInfo) rankIndex(g *CSR) []uint64 {
 	if vi.cum == nil {
-		buf := vi.scratch.cumBuf
+		var buf []uint64
+		if vi.scratch != nil {
+			buf = vi.scratch.cumBuf
+		}
 		if cap(buf) < g.n+1 {
 			buf = make([]uint64, g.n+1)
-			vi.scratch.cumBuf = buf
+			if vi.scratch != nil {
+				vi.scratch.cumBuf = buf
+			}
 		}
 		cum := buf[:g.n+1]
 		cum[0] = 0
 		for v := 0; v < g.n; v++ {
-			cum[v+1] = cum[v] + uint64(g.outLen[v])
+			// Logical degree, not outLen: inline vertices keep outLen == 0.
+			cum[v+1] = cum[v] + uint64(g.liveOutDeg(VertexID(v)))
 		}
 		vi.cum = cum
 	}
@@ -388,12 +403,16 @@ func cmpDel(x, y bool) int {
 }
 
 // fitsInSlack checks, per affected vertex and direction, that the post-batch
-// degree fits the vertex's segment capacity. The batch is already validated,
-// so every delete removes exactly one slot and every insert adds exactly one.
+// degree fits one of the vertex's representations: the inline record (degree
+// at most the layout's inline capacity) or the slab segment capacity. The
+// batch is already validated, so every delete removes exactly one slot and
+// every insert adds exactly one.
 func (g *CSR) fitsInSlack(sc *deltaScratch) bool {
 	ok := true
+	inl := int(g.inlCap)
 	groupBy(sc.bySrc, srcOf, func(v VertexID, ops []edgeOp) {
-		if int(g.outLen[v])+netGrowth(ops) > int(g.outPtr[v+1]-g.outPtr[v]) {
+		deg := g.liveOutDeg(v) + netGrowth(ops)
+		if deg > inl && deg > int(g.outPtr[v+1]-g.outPtr[v]) {
 			ok = false
 		}
 	})
@@ -401,7 +420,8 @@ func (g *CSR) fitsInSlack(sc *deltaScratch) bool {
 		return false
 	}
 	groupBy(sc.byDst, dstOf, func(v VertexID, ops []edgeOp) {
-		if int(g.inLen[v])+netGrowth(ops) > int(g.inPtr[v+1]-g.inPtr[v]) {
+		deg := g.liveInDeg(v) + netGrowth(ops)
+		if deg > inl && deg > int(g.inPtr[v+1]-g.inPtr[v]) {
 			ok = false
 		}
 	})
@@ -460,28 +480,26 @@ func (g *CSR) applyInPlace(cfg DeltaConfig, sc *deltaScratch, edits int) *CSR {
 	// Reserve the batch's total snapshot footprint up front so the per-vertex
 	// arena allocations below never split a batch across chunk switches.
 	slabN := 0
-	groupBy(sc.bySrc, srcOf, func(v VertexID, _ []edgeOp) { slabN += int(g.outLen[v]) })
-	groupBy(sc.byDst, dstOf, func(v VertexID, _ []edgeOp) { slabN += int(g.inLen[v]) })
+	groupBy(sc.bySrc, srcOf, func(v VertexID, _ []edgeOp) { slabN += g.liveOutDeg(v) })
+	groupBy(sc.byDst, dstOf, func(v VertexID, _ []edgeOp) { slabN += g.liveInDeg(v) })
 	sc.slab.reserve(slabN)
 
 	mDelta := 0
-	// Out direction: snapshot each affected vertex's segment, merge it with
-	// its sorted updates into scratch, copy back within the segment.
+	// Out direction: snapshot each affected vertex's segment (wherever its
+	// representation keeps it), merge it with its sorted updates into scratch,
+	// and store back — storeOut picks the post-merge representation and
+	// migrates inline↔slab in place when the degree crosses the threshold.
 	groupBy(sc.bySrc, srcOf, func(v VertexID, ops []edgeOp) {
-		lo := g.outPtr[v]
-		n := uint64(g.outLen[v])
-		ids, ws := g.outDst[lo:lo+n], g.outW[lo:lo+n]
+		ids, ws := g.liveOut(v)
 
-		snapIDs, snapWs := sc.slab.alloc(int(n))
+		snapIDs, snapWs := sc.slab.alloc(len(ids))
 		copy(snapIDs, ids)
 		copy(snapWs, ws)
 		undoOut = append(undoOut, outUndo{v: v, dst: snapIDs, w: snapWs, wsum: g.outWeightSum[v]})
 
 		newIDs, newWs, _ := mergeSeg(sc, ids, ws, ops, outNeighbor)
-		mDelta += len(newIDs) - int(n)
-		copy(g.outDst[lo:], newIDs)
-		copy(g.outW[lo:], newWs)
-		g.outLen[v] = uint32(len(newIDs))
+		mDelta += len(newIDs) - len(ids)
+		g.storeOut(v, newIDs, newWs)
 		// Recompute the sum left-to-right over the merged segment rather than
 		// adding the batch's weight delta: float addition is order-dependent,
 		// and summing in segment order is exactly what a full rebuild does, so
@@ -495,19 +513,15 @@ func (g *CSR) applyInPlace(cfg DeltaConfig, sc *deltaScratch, edits int) *CSR {
 	})
 	// In direction.
 	groupBy(sc.byDst, dstOf, func(v VertexID, ops []edgeOp) {
-		lo := g.inPtr[v]
-		n := uint64(g.inLen[v])
-		ids, ws := g.inSrc[lo:lo+n], g.inW[lo:lo+n]
+		ids, ws := g.liveIn(v)
 
-		snapIDs, snapWs := sc.slab.alloc(int(n))
+		snapIDs, snapWs := sc.slab.alloc(len(ids))
 		copy(snapIDs, ids)
 		copy(snapWs, ws)
 		undoIn = append(undoIn, inUndo{v: v, src: snapIDs, w: snapWs})
 
 		newIDs, newWs, _ := mergeSeg(sc, ids, ws, ops, inNeighbor)
-		copy(g.inSrc[lo:], newIDs)
-		copy(g.inW[lo:], newWs)
-		g.inLen[v] = uint32(len(newIDs))
+		g.storeIn(v, newIDs, newWs)
 	})
 
 	// One allocation for the new head: its CSR and versionInfo together.
@@ -517,6 +531,8 @@ func (g *CSR) applyInPlace(cfg DeltaConfig, sc *deltaScratch, edits int) *CSR {
 		n: g.n, m: g.m + mDelta,
 		outPtr: g.outPtr, outLen: g.outLen, outDst: g.outDst, outW: g.outW,
 		inPtr: g.inPtr, inLen: g.inLen, inSrc: g.inSrc, inW: g.inW,
+		outInl: g.outInl, inInl: g.inInl, inlCap: g.inlCap,
+		outInline: g.outInline, inInline: g.inInline,
 		outWeightSum: g.outWeightSum,
 		asymCount:    g.asymCount,
 		ver:          &head.vi,
@@ -623,6 +639,15 @@ func (g *CSR) rebuildSlacked(b Batch, cfg DeltaConfig, sc *deltaScratch) (*CSR, 
 	if err != nil {
 		return nil, err
 	}
+	if vi := g.ver; vi != nil && !vi.frozen {
+		// The scratch — including the rank-index buffer — moves on with the
+		// new head. Sever the superseded version's aliases: a cached cum
+		// would otherwise be rebuilt in place under it with the new head's
+		// degrees, and a later EdgeAt on the old version would rank through
+		// the wrong layout. Detached versions build a private index instead.
+		vi.cum = nil
+		vi.scratch = nil
+	}
 	return slackify(dense, cfg, sc), nil
 }
 
@@ -664,6 +689,39 @@ func slackify(dense *CSR, cfg DeltaConfig, sc *deltaScratch) *CSR {
 		copy(g.outW[g.outPtr[v]:], dense.outW[dense.outPtr[v]:dense.outPtr[v+1]])
 		copy(g.inSrc[g.inPtr[v]:], dense.inSrc[dense.inPtr[v]:dense.inPtr[v+1]])
 		copy(g.inW[g.inPtr[v]:], dense.inW[dense.inPtr[v]:dense.inPtr[v+1]])
+	}
+	// Degree-adaptive layout: low-degree vertices move into inline records
+	// and release their slab segment (outLen 0, capacity stays reserved so a
+	// later spill is an in-place copy and edge offsets never change).
+	if inl := cfg.InlineCap; inl > 0 {
+		if inl > inlineCapMax {
+			inl = inlineCapMax
+		}
+		g.inlCap = uint8(inl)
+		g.outInl = make([]inlineRec, n)
+		g.inInl = make([]inlineRec, n)
+		for v := 0; v < n; v++ {
+			if od := int(g.outLen[v]); od <= inl {
+				r := &g.outInl[v]
+				lo := dense.outPtr[v]
+				r.n = uint8(copy(r.ids[:], dense.outDst[lo:lo+uint64(od)]))
+				copy(r.ws[:], dense.outW[lo:lo+uint64(od)])
+				g.outLen[v] = 0
+				g.outInline++
+			} else {
+				g.outInl[v].n = inlineSpilled
+			}
+			if id := int(g.inLen[v]); id <= inl {
+				r := &g.inInl[v]
+				lo := dense.inPtr[v]
+				r.n = uint8(copy(r.ids[:], dense.inSrc[lo:lo+uint64(id)]))
+				copy(r.ws[:], dense.inW[lo:lo+uint64(id)])
+				g.inLen[v] = 0
+				g.inInline++
+			} else {
+				g.inInl[v].n = inlineSpilled
+			}
+		}
 	}
 	if sc == nil {
 		sc = &deltaScratch{}

@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"unsafe"
+
+	"jetstream/internal/pad"
+)
+
+// inlineCapMax is the hard ceiling on inline neighbors per direction: the
+// record below fits exactly one cache line with four id/weight pairs, so a
+// low-degree vertex resolves its whole adjacency with a single line fill and
+// zero pointer chases. DeltaConfig.InlineCap may choose any value in
+// [0, inlineCapMax]; 0 disables the adaptive layout entirely.
+const inlineCapMax = 4
+
+// inlineSpilled marks a vertex whose adjacency lives in the slack slab — the
+// record is a tombstone and the slab segment [outPtr[v], outPtr[v]+outLen[v])
+// is authoritative. Any n ≤ inlineCapMax means the record itself is
+// authoritative and the vertex's slab slots are dead (but still reserved:
+// slackify sizes the slab identically with or without inline records, which
+// is what makes inline↔slab migration an in-place copy in either direction
+// and keeps EdgeOffset — the timing model's address base — layout-invariant).
+const inlineSpilled = 0xFF
+
+// inlineRec is one vertex's inline adjacency for one direction: up to
+// inlineCapMax (id, weight) pairs plus the used count, padded to exactly one
+// cache line so two vertices' records never share a line and one record
+// never straddles two.
+type inlineRec struct {
+	ids [inlineCapMax]VertexID // 16 bytes
+	ws  [inlineCapMax]Weight   // 32 bytes
+	n   uint8                  // used count, or inlineSpilled
+	_   [15]byte
+}
+
+// Compile-time: an inlineRec is exactly one cache line (see internal/pad).
+const (
+	_ = uint(pad.LineSize - unsafe.Sizeof(inlineRec{}))
+	_ = uint(unsafe.Sizeof(inlineRec{}) - pad.LineSize)
+)
+
+// liveOut returns v's out-adjacency as stored by the live layout: the inline
+// record when the vertex is inline, the slab segment otherwise. Callers must
+// hold a live (unfrozen) version — frozen versions read through their undo
+// snapshots in outSeg. The returned slices alias the graph's storage.
+//
+//jetlint:hotpath
+func (g *CSR) liveOut(v VertexID) ([]VertexID, []Weight) {
+	if g.outInl != nil {
+		r := &g.outInl[v]
+		if r.n != inlineSpilled {
+			return r.ids[:r.n], r.ws[:r.n]
+		}
+	}
+	lo := g.outPtr[v]
+	hi := g.outPtr[v+1]
+	if g.outLen != nil {
+		hi = lo + uint64(g.outLen[v])
+	}
+	return g.outDst[lo:hi], g.outW[lo:hi]
+}
+
+// liveIn is the in-direction mirror of liveOut.
+//
+//jetlint:hotpath
+func (g *CSR) liveIn(v VertexID) ([]VertexID, []Weight) {
+	if g.inInl != nil {
+		r := &g.inInl[v]
+		if r.n != inlineSpilled {
+			return r.ids[:r.n], r.ws[:r.n]
+		}
+	}
+	lo := g.inPtr[v]
+	hi := g.inPtr[v+1]
+	if g.inLen != nil {
+		hi = lo + uint64(g.inLen[v])
+	}
+	return g.inSrc[lo:hi], g.inW[lo:hi]
+}
+
+// liveOutDeg returns v's logical out-degree on the live layout. With inline
+// records, outLen[v] is zero for inline vertices, so degree questions must go
+// through here rather than reading outLen directly.
+func (g *CSR) liveOutDeg(v VertexID) int {
+	if g.outInl != nil {
+		if n := g.outInl[v].n; n != inlineSpilled {
+			return int(n)
+		}
+	}
+	if g.outLen != nil {
+		return int(g.outLen[v])
+	}
+	return int(g.outPtr[v+1] - g.outPtr[v])
+}
+
+// liveInDeg is the in-direction mirror of liveOutDeg.
+func (g *CSR) liveInDeg(v VertexID) int {
+	if g.inInl != nil {
+		if n := g.inInl[v].n; n != inlineSpilled {
+			return int(n)
+		}
+	}
+	if g.inLen != nil {
+		return int(g.inLen[v])
+	}
+	return int(g.inPtr[v+1] - g.inPtr[v])
+}
+
+// storeOut writes v's post-merge out-adjacency into whichever representation
+// now fits: the inline record when the new degree is at most the layout's
+// inline capacity, the (always-reserved) slab segment otherwise. Migration in
+// either direction is a plain copy — no reallocation, no pointer movement —
+// because slackify reserves every vertex's slab capacity as if it were
+// spilled. The ids/ws arguments must not alias the destination (callers pass
+// the merge scratch).
+func (g *CSR) storeOut(v VertexID, ids []VertexID, ws []Weight) {
+	if g.outInl != nil && len(ids) <= int(g.inlCap) {
+		r := &g.outInl[v]
+		if r.n == inlineSpilled {
+			g.outInline++
+		}
+		r.n = uint8(copy(r.ids[:], ids))
+		copy(r.ws[:], ws)
+		g.outLen[v] = 0
+		return
+	}
+	if g.outInl != nil && g.outInl[v].n != inlineSpilled {
+		g.outInl[v].n = inlineSpilled
+		g.outInline--
+	}
+	lo := g.outPtr[v]
+	copy(g.outDst[lo:], ids)
+	copy(g.outW[lo:], ws)
+	g.outLen[v] = uint32(len(ids))
+}
+
+// storeIn is the in-direction mirror of storeOut.
+func (g *CSR) storeIn(v VertexID, ids []VertexID, ws []Weight) {
+	if g.inInl != nil && len(ids) <= int(g.inlCap) {
+		r := &g.inInl[v]
+		if r.n == inlineSpilled {
+			g.inInline++
+		}
+		r.n = uint8(copy(r.ids[:], ids))
+		copy(r.ws[:], ws)
+		g.inLen[v] = 0
+		return
+	}
+	if g.inInl != nil && g.inInl[v].n != inlineSpilled {
+		g.inInl[v].n = inlineSpilled
+		g.inInline--
+	}
+	lo := g.inPtr[v]
+	copy(g.inSrc[lo:], ids)
+	copy(g.inW[lo:], ws)
+	g.inLen[v] = uint32(len(ids))
+}
+
+// RepresentationMix reports how many vertices are currently stored inline in
+// each direction, plus the vertex count. All zeros (with n > 0) means the
+// layout is uniform slab/dense. Only meaningful on a live head; the
+// observability layer samples it after each batch.
+func (g *CSR) RepresentationMix() (outInline, inInline, n int) {
+	if g.outInl == nil {
+		return 0, 0, g.n
+	}
+	return g.outInline, g.inInline, g.n
+}
+
+// InlineCap returns the layout's inline capacity (0 when the adaptive layout
+// is off).
+func (g *CSR) InlineCap() int { return int(g.inlCap) }

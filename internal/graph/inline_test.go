@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Tests for the degree-adaptive adjacency layout (inline.go): randomized
+// differentials against the dense rebuild oracle with the inline layout
+// forced through every threshold, migration churn that drives vertices back
+// and forth across the inline/slab boundary, and the zero-allocation pin on
+// the inline read path.
+
+// TestInlineMatchesRebuildAllCaps replays randomized mixed batches through
+// ApplyDeltaCfg at every inline threshold (0 = uniform slab through 4 = the
+// record capacity) in lockstep with the rebuild oracle. The logical graph
+// must be bitwise-identical at every step and every threshold, and the
+// adaptive layout must actually engage (inline vertices present) whenever the
+// threshold is nonzero.
+func TestInlineMatchesRebuildAllCaps(t *testing.T) {
+	for cap := 0; cap <= inlineCapMax; cap++ {
+		cfg := DeltaConfig{SlackMin: 4, SlackFrac: 0.25, CompactFrac: 0.25, InlineCap: cap}
+		t.Run(map[bool]string{true: "inline", false: "slab"}[cap > 0]+string(rune('0'+cap)), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(400 + cap)))
+			base := RMAT(RMATConfig{Vertices: 250, Edges: 1500, Seed: 17})
+			dg, rg := base, base
+			sawInline := false
+			for step := 0; step < 20; step++ {
+				b := randomValidBatch(rng, rg, 30)
+				nd, err := dg.ApplyDeltaCfg(b, cfg)
+				if err != nil {
+					t.Fatalf("step %d: ApplyDeltaCfg: %v", step, err)
+				}
+				nr, err := rg.Apply(b)
+				if err != nil {
+					t.Fatalf("step %d: Apply: %v", step, err)
+				}
+				checkSame(t, step, nd, nr)
+				out, in, n := nd.RepresentationMix()
+				if cap == 0 && (out != 0 || in != 0) {
+					t.Fatalf("step %d: uniform slab reports inline vertices (%d out, %d in)", step, out, in)
+				}
+				if out > n || in > n {
+					t.Fatalf("step %d: representation mix out of range: %d/%d of %d", step, out, in, n)
+				}
+				if out > 0 || in > 0 {
+					sawInline = true
+				}
+				dg, rg = nd, nr
+			}
+			if cap > 0 && !sawInline {
+				t.Fatalf("inline cap %d never produced an inline vertex on an RMAT graph", cap)
+			}
+		})
+	}
+}
+
+// TestInlineMigrationChurn targets the representation boundary directly: a
+// small graph where designated vertices repeatedly gain edges past the inline
+// cap (spilling to the slab) and lose them again (migrating back inline),
+// checked against the oracle after every transition. This is the pattern the
+// generic randomized tests hit only occasionally.
+func TestInlineMigrationChurn(t *testing.T) {
+	const n = 12
+	cfg := DeltaConfig{SlackMin: 8, SlackFrac: 1, CompactFrac: 4, InlineCap: inlineCapMax}
+	dg := MustBuild(n, []Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 2}, {Src: 2, Dst: 0, Weight: 3},
+	})
+	rg := dg
+	step := 0
+	apply := func(b Batch) {
+		t.Helper()
+		nd, err := dg.ApplyDeltaCfg(b, cfg)
+		if err != nil {
+			t.Fatalf("step %d: ApplyDeltaCfg: %v", step, err)
+		}
+		nr, err := rg.Apply(b)
+		if err != nil {
+			t.Fatalf("step %d: Apply: %v", step, err)
+		}
+		checkSame(t, step, nd, nr)
+		dg, rg = nd, nr
+		step++
+	}
+	// Vertex 0 oscillates: grow out-degree 1 -> 6 (inline -> spilled), shrink
+	// back to 1 (spilled -> inline), three full cycles; vertex 1 mirrors the
+	// pattern on its in-adjacency via inserts toward it.
+	for cycle := 0; cycle < 3; cycle++ {
+		var grow Batch
+		for d := 2; d <= 6; d++ {
+			grow.Inserts = append(grow.Inserts,
+				Edge{Src: 0, Dst: VertexID(d), Weight: Weight(10*cycle + d)},
+				Edge{Src: VertexID(d), Dst: 1, Weight: Weight(20*cycle + d)})
+		}
+		apply(grow)
+		if got := dg.OutDegree(0); got != 6 {
+			t.Fatalf("cycle %d: vertex 0 out-degree %d after growth, want 6", cycle, got)
+		}
+		var shrink Batch
+		for d := 2; d <= 6; d++ {
+			shrink.Deletes = append(shrink.Deletes,
+				Edge{Src: 0, Dst: VertexID(d)},
+				Edge{Src: VertexID(d), Dst: 1})
+		}
+		apply(shrink)
+		if got := dg.OutDegree(0); got != 1 {
+			t.Fatalf("cycle %d: vertex 0 out-degree %d after shrink, want 1", cycle, got)
+		}
+	}
+	out, in, _ := dg.RepresentationMix()
+	if out == 0 || in == 0 {
+		t.Fatalf("after shrink cycles every vertex is low-degree, want inline records (mix %d out, %d in)", out, in)
+	}
+}
+
+// TestInlineReadPathAllocs pins the inline read path at zero allocations: a
+// full out- and in-edge sweep over a slacked adaptive graph must not allocate
+// (the inline records are array-backed and the slab segments are reslices).
+func TestInlineReadPathAllocs(t *testing.T) {
+	g := RMAT(RMATConfig{Vertices: 400, Edges: 1200, Seed: 23})
+	sl, err := g.ApplyDeltaCfg(Batch{}, DefaultDeltaConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, _, _ := sl.RepresentationMix(); out == 0 {
+		t.Fatal("adaptive layout did not engage on an RMAT graph")
+	}
+	var sink float64
+	allocs := testing.AllocsPerRun(10, func() {
+		for v := 0; v < sl.NumVertices(); v++ {
+			sl.OutEdges(VertexID(v), func(dst VertexID, w Weight) { sink += float64(w) })
+			sl.InEdges(VertexID(v), func(src VertexID, w Weight) { sink += float64(src) })
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("adaptive read sweep allocates %v times per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// FuzzDegreeMigration fuzzes the inline/slab boundary: derived batches grow a
+// fuzzed vertex past the fuzzed inline cap and shrink it back under mixed
+// inserts and deletes, in lockstep with the rebuild oracle. Any acceptance,
+// content, or validity divergence fails.
+func FuzzDegreeMigration(f *testing.F) {
+	f.Add(uint8(0), uint8(1), uint8(3), uint8(5))
+	f.Add(uint8(3), uint8(4), uint8(1), uint8(2))
+	f.Add(uint8(7), uint8(7), uint8(4), uint8(9))
+	f.Fuzz(func(t *testing.T, va, vb, cap8, extra uint8) {
+		const n = 10
+		u := VertexID(va % n)
+		w := VertexID(vb % n)
+		cfg := DeltaConfig{
+			SlackMin:    int(extra%4) + 1,
+			SlackFrac:   0.5,
+			CompactFrac: float64(extra%8) * 0.1,
+			InlineCap:   int(cap8 % (inlineCapMax + 2)), // 0..5: off, 1..4, clamped
+		}
+		dg := MustBuild(n, []Edge{
+			{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 2},
+			{Src: 2, Dst: 3, Weight: 3}, {Src: 3, Dst: 4, Weight: 4},
+		})
+		rg := dg
+		// Batch 1: grow u's out-adjacency toward every other vertex (degree
+		// crosses any inline cap). Batch 2: delete half of them and insert a
+		// churn edge. Batch 3: delete the rest (u migrates back inline).
+		var grow Batch
+		for d := 0; d < n; d++ {
+			grow.Inserts = append(grow.Inserts, Edge{Src: u, Dst: VertexID(d), Weight: Weight(d + 1)})
+		}
+		var half, rest Batch
+		for i, e := range grow.Inserts {
+			if i%2 == 0 {
+				half.Deletes = append(half.Deletes, Edge{Src: e.Src, Dst: e.Dst})
+			} else {
+				rest.Deletes = append(rest.Deletes, Edge{Src: e.Src, Dst: e.Dst})
+			}
+		}
+		half.Inserts = []Edge{{Src: w, Dst: u, Weight: Weight(extra) + 0.5}}
+		for step, b := range []Batch{grow, half, rest} {
+			nd, errD := dg.ApplyDeltaCfg(b, cfg)
+			nr, errA := rg.Apply(b)
+			if (errD == nil) != (errA == nil) {
+				t.Fatalf("step %d: acceptance diverges: delta=%v apply=%v\nbatch: %+v", step, errD, errA, b)
+			}
+			if errD != nil {
+				// Rejected identically (duplicate insert, absent delete,
+				// self-loop rules...) — nothing mutated, try the next batch.
+				continue
+			}
+			if err := nd.Validate(); err != nil {
+				t.Fatalf("step %d: delta result invalid: %v\nbatch: %+v", step, err, b)
+			}
+			de, re := nd.Edges(), nr.Edges()
+			if len(de) != len(re) {
+				t.Fatalf("step %d: edge counts diverge: %d vs %d", step, len(de), len(re))
+			}
+			for i := range de {
+				if de[i] != re[i] {
+					t.Fatalf("step %d: edge %d diverges: %+v vs %+v", step, i, de[i], re[i])
+				}
+			}
+			dg, rg = nd, nr
+		}
+	})
+}

@@ -1,0 +1,31 @@
+package pad_test
+
+import (
+	"testing"
+	"unsafe"
+
+	"jetstream/internal/pad"
+)
+
+// The assertion idiom documented in the package comment must actually be a
+// compile-time constant expression. These consts are the self-test: if
+// unsafe.Sizeof stopped being constant-foldable, or Line drifted from
+// LineSize, the package (and every use site) would stop compiling.
+const (
+	_ = uint(pad.LineSize - unsafe.Sizeof(pad.Line{}))
+	_ = uint(unsafe.Sizeof(pad.Line{}) - pad.LineSize)
+)
+
+func TestLineGeometry(t *testing.T) {
+	if got := unsafe.Sizeof(pad.Line{}); got != pad.LineSize {
+		t.Fatalf("Line is %d bytes, want %d", got, pad.LineSize)
+	}
+	if pad.LineSize&(pad.LineSize-1) != 0 {
+		t.Fatalf("LineSize %d is not a power of two", pad.LineSize)
+	}
+	// Alignment of the padded composites must divide LineSize, or an embedded
+	// Line could itself start mid-line.
+	if a := unsafe.Alignof(pad.Line{}); pad.LineSize%a != 0 {
+		t.Fatalf("Line alignment %d does not divide LineSize", a)
+	}
+}

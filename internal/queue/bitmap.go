@@ -1,6 +1,30 @@
 package queue
 
-import "math/bits"
+import (
+	"math/bits"
+	"unsafe"
+
+	"jetstream/internal/pad"
+)
+
+// rowHeader is the mutable per-row bookkeeping of the occupancy bitmap,
+// padded to one cache line. In the sharded queue each shard is drained by its
+// owning worker, so adjacent rows' live counts are single-writer — but
+// adjacent shards' header arrays are written by different workers, and
+// unpadded int32 counts pack sixteen to a line, which lets the allocator
+// co-locate two shards' tails on one line. One header per line removes the
+// false-sharing surface entirely and makes the insert-path increment touch a
+// line nothing else writes.
+type rowHeader struct {
+	live int32
+	_    [pad.LineSize - 4]byte
+}
+
+// Compile-time: a rowHeader is exactly one cache line (see internal/pad).
+const (
+	_ = uint(pad.LineSize - unsafe.Sizeof(rowHeader{}))
+	_ = uint(unsafe.Sizeof(rowHeader{}) - pad.LineSize)
+)
 
 // occupancy tracks which vertex slots hold a live event, word-packed so the
 // drain loops skip empty regions instead of scanning every slot. A
@@ -11,9 +35,9 @@ import "math/bits"
 // sparse recovery phases (a few live events in a million-slot queue) cheap.
 type occupancy struct {
 	rowSize int
-	words   []uint64 // bit per slot
-	rowOcc  []uint64 // bit per row holding ≥1 live slot
-	rowLive []int32  // live slots per row
+	words   []uint64    // bit per slot
+	rowOcc  []uint64    // bit per row holding ≥1 live slot
+	rowHdr  []rowHeader // live slots per row, one cache line per row
 	count   int
 }
 
@@ -23,7 +47,7 @@ func newOccupancy(n, rowSize int) *occupancy {
 		rowSize: rowSize,
 		words:   make([]uint64, (n+63)/64),
 		rowOcc:  make([]uint64, (rows+63)/64),
-		rowLive: make([]int32, rows),
+		rowHdr:  make([]rowHeader, rows),
 	}
 }
 
@@ -37,10 +61,10 @@ func (o *occupancy) set(i int) bool {
 	o.words[w] |= b
 	o.count++
 	row := i / o.rowSize
-	if o.rowLive[row] == 0 {
+	if o.rowHdr[row].live == 0 {
 		o.rowOcc[row>>6] |= 1 << (uint(row) & 63)
 	}
-	o.rowLive[row]++
+	o.rowHdr[row].live++
 	return true
 }
 
@@ -89,8 +113,8 @@ func (o *occupancy) drainRow(row int, fn func(slot int)) {
 		}
 	}
 	o.count -= drained
-	o.rowLive[row] -= int32(drained)
-	if o.rowLive[row] == 0 {
+	o.rowHdr[row].live -= int32(drained)
+	if o.rowHdr[row].live == 0 {
 		o.rowOcc[row>>6] &^= 1 << (uint(row) & 63)
 	}
 }

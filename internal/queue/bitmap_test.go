@@ -32,8 +32,8 @@ func checkOccInvariant(t *testing.T, o *occupancy, n int) {
 				live++
 			}
 		}
-		if int(o.rowLive[row]) != live {
-			t.Fatalf("row %d: rowLive=%d, slot bits say %d", row, o.rowLive[row], live)
+		if int(o.rowHdr[row].live) != live {
+			t.Fatalf("row %d: rowLive=%d, slot bits say %d", row, o.rowHdr[row].live, live)
 		}
 		occBit := o.rowOcc[row>>6]&(1<<(uint(row)&63)) != 0
 		if occBit != (live > 0) {

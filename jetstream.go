@@ -193,19 +193,21 @@ func NewAlgorithm(spec AlgorithmSpec) (Algorithm, error) {
 type Option func(*options)
 
 type options struct {
-	opt      OptLevel
-	slices   int
-	timing   bool
-	detailed bool
-	parallel int
-	accel    *engine.Config
-	ingest   IngestPolicy
-	watchdog WatchdogConfig
-	observer Observer
-	rebuild  bool
-	walDir   string
-	walOpts  wal.Options
-	window   int
+	opt       OptLevel
+	slices    int
+	timing    bool
+	detailed  bool
+	pipeline  bool
+	parallel  int
+	accel     *engine.Config
+	ingest    IngestPolicy
+	watchdog  WatchdogConfig
+	observer  Observer
+	rebuild   bool
+	inlineDeg int
+	walDir    string
+	walOpts   wal.Options
+	window    int
 
 	// err carries a deferred construction failure: options built from wire
 	// data (Config.Options) cannot return an error themselves, so they record
@@ -243,6 +245,35 @@ func WithTiming(on bool) Option { return func(op *options) { op.timing = on } }
 // resolves port-contention hot spots.
 func WithDetailedTiming() Option {
 	return func(op *options) { op.detailed = true }
+}
+
+// WithPipelineOverlap overlaps the functional compute with the cycle
+// simulation when the timing model is on: the engine hands each row batch's
+// charge records to a consumer goroutine over a bounded two-slot FIFO and
+// keeps computing while the simulator drains. A pure wall-clock optimization
+// — cycle counts and all statistics are bitwise-identical with it on or off,
+// and it is a documented no-op when timing is off (including with
+// WithTiming(false) or parallel functional execution).
+func WithPipelineOverlap(on bool) Option {
+	return func(op *options) { op.pipeline = on }
+}
+
+// WithInlineDegree tunes the degree-adaptive adjacency layout of the
+// incremental host path: vertices with at most n neighbors in a direction are
+// stored in per-vertex cache-line records instead of the shared slack slab,
+// so the common low-degree lookup costs one line fill and zero pointer
+// chases. n = 0 keeps the library default (4), n in [1, 4] sets the
+// threshold, n = -1 disables the inline layout entirely (uniform slab). The
+// logical graph and query results are identical at every setting. Ignored
+// under WithGraphRebuild.
+func WithInlineDegree(n int) Option {
+	return func(op *options) {
+		if n < -1 || n > 4 {
+			op.fail(fmt.Errorf("WithInlineDegree(%d): threshold must be -1 (disable), 0 (default), or 1..4", n))
+			return
+		}
+		op.inlineDeg = n
+	}
 }
 
 // WithParallelism shards the functional compute phases across p worker
@@ -454,8 +485,10 @@ func New(g *Graph, a Algorithm, opts ...Option) (*System, error) {
 	}
 	cfg.Slices = op.slices
 	cfg.RebuildGraph = op.rebuild
+	cfg.InlineDegree = op.inlineDeg
 	cfg.Engine.Timing = op.timing
 	cfg.Engine.DetailedTiming = op.detailed
+	cfg.Engine.PipelineOverlap = op.pipeline
 	if op.parallel > 0 {
 		cfg.Engine.Parallelism = op.parallel
 	}
@@ -521,10 +554,13 @@ func (s *System) attachFreshWAL(dir string, opts wal.Options) error {
 	return nil
 }
 
-// delta snapshots the counters consumed since the previous snapshot.
+// delta snapshots the counters consumed since the previous snapshot. Cycles
+// is read before the struct copy: with pipeline overlap on, the cycle read
+// joins the timing consumer, and the copy must not race with it.
 func (s *System) delta() Result {
+	cy := s.js.Cycles()
 	cur := *s.st
-	cur.Cycles = s.js.Cycles()
+	cur.Cycles = cy
 	d := cur
 	d.Sub(&s.prev)
 	s.prev = cur
@@ -694,10 +730,13 @@ func (s *System) StateRef() []float64 { return s.js.State() }
 // across a checkpoint/restore cycle); the watchdog cadence follows it.
 func (s *System) Batches() uint64 { return s.batches }
 
-// TotalStats returns cumulative counters since construction.
+// TotalStats returns cumulative counters since construction. The cycle read
+// comes first: it joins any in-flight pipelined timing work, so the struct
+// copy sees settled counters.
 func (s *System) TotalStats() Counters {
+	cy := s.js.Cycles()
 	c := *s.st
-	c.Cycles = s.js.Cycles()
+	c.Cycles = cy
 	return c
 }
 
